@@ -1,0 +1,65 @@
+// Reproduces Fig. 2 / Fig. 3: ANF -> CNF conversion sizes, Karnaugh-map
+// path vs Tseitin path, on the paper's example polynomial and on a sweep of
+// random polynomials of growing variable count.
+#include <cstdio>
+
+#include "anf/anf_parser.h"
+#include "core/anf_to_cnf.h"
+#include "util/rng.h"
+
+using namespace bosphorus;
+
+namespace {
+
+core::Anf2CnfResult convert(const anf::Polynomial& p, size_t nv, unsigned k) {
+    core::Anf2CnfConfig cfg;
+    cfg.karnaugh_k = k;
+    cfg.xor_cut = 16;  // no cutting: isolate the two conversion paths
+    return core::anf_to_cnf({p}, nv, cfg);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Fig. 2: Karnaugh vs Tseitin conversion ===\n");
+    const auto p = anf::parse_polynomial("x1*x3 + x1 + x2 + x4 + 1");
+    const auto karnaugh = convert(p, 4, 8);
+    const auto tseitin = convert(p, 4, 2);
+    std::printf("polynomial: %s\n", p.to_string().c_str());
+    std::printf("  karnaugh path: %zu clauses, %zu aux vars (paper: 6, 0)\n",
+                karnaugh.cnf.clauses.size(), karnaugh.cnf.num_vars - 4);
+    std::printf("  tseitin path:  %zu clauses, %zu aux vars (paper: 11, 1)\n",
+                tseitin.cnf.clauses.size(), tseitin.cnf.num_vars - 4);
+
+    std::printf("\nsweep: random degree-2 polynomials, clause counts by "
+                "conversion path\n");
+    std::printf("%-6s %-10s %-18s %-18s\n", "vars", "monomials",
+                "karnaugh clauses", "tseitin clauses");
+    Rng rng(7);
+    for (unsigned nv = 3; nv <= 8; ++nv) {
+        size_t k_clauses = 0, t_clauses = 0, monos = 0;
+        const int reps = 20;
+        for (int rep = 0; rep < reps; ++rep) {
+            // Random polynomial touching exactly nv variables.
+            std::vector<anf::Monomial> ms;
+            for (unsigned v = 0; v + 1 < nv; v += 2)
+                ms.push_back(anf::Monomial(std::vector<anf::Var>{v, v + 1}));
+            for (unsigned v = 0; v < nv; ++v)
+                if (rng.coin()) ms.push_back(anf::Monomial(v));
+            if (rng.coin()) ms.push_back(anf::Monomial());
+            const anf::Polynomial poly(std::move(ms));
+            if (poly.is_zero()) continue;
+            monos += poly.size();
+            k_clauses += convert(poly, nv, 8).cnf.clauses.size();
+            t_clauses += convert(poly, nv, 2).cnf.clauses.size();
+        }
+        std::printf("%-6u %-10.1f %-18.1f %-18.1f\n", nv,
+                    static_cast<double>(monos) / reps,
+                    static_cast<double>(k_clauses) / reps,
+                    static_cast<double>(t_clauses) / reps);
+    }
+    std::printf("\nexpected shape: Karnaugh stays compact at low variable "
+                "counts; Tseitin pays auxiliary AND-gate clauses plus "
+                "2^(l-1) XOR clauses but scales past K variables.\n");
+    return 0;
+}

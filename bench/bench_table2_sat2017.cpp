@@ -1,0 +1,107 @@
+// Table II, SAT-2017 rows: CNF instances through the Bosphorus-as-CNF-
+// preprocessor pipeline (section III-D).
+//
+// The competition set is not redistributable, so the in-tree generated
+// suite (random 3-SAT at the threshold, pigeonhole, XOR cycles, graph
+// colouring -- see src/cnfgen/) stands in. Like the paper we report an
+// "all instances" row pair and a "hard subset" row pair (instances the
+// plain MiniSat-like solver cannot finish in half the timeout, mirroring
+// the paper's 2,500 s proxy-difficulty split of 310 -> 219 instances).
+//
+// Expected shape (paper): Bosphorus helps most on UNSAT instances and for
+// the GJE-enabled solver (CMS5: 89+63 -> 98+77 solved).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cnfgen/generators.h"
+#include "core/pipeline.h"
+#include "table2_common.h"
+
+using namespace bosphorus;
+using bench::BenchScale;
+
+namespace {
+
+struct Row {
+    double par2 = 0.0;
+    size_t sat = 0, unsat = 0;
+};
+
+Row run(const std::vector<const sat::Cnf*>& instances, sat::SolverKind kind,
+        bool with, const BenchScale& scale) {
+    Row row;
+    std::vector<core::PipelineOutcome> outcomes;
+    for (const sat::Cnf* cnf : instances) {
+        const auto out = core::solve_cnf_instance(
+            *cnf, bench::make_config(kind, with, scale));
+        outcomes.push_back(out);
+        if (out.result == sat::Result::kSat) ++row.sat;
+        if (out.result == sat::Result::kUnsat) ++row.unsat;
+    }
+    row.par2 = core::par2_score(outcomes, scale.timeout_s);
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    const BenchScale scale = BenchScale::from_env(1, 5.0);
+    unsigned suite_scale = 1;
+    if (const char* v = std::getenv("BENCH_SUITE_SCALE"))
+        suite_scale = std::strtoul(v, nullptr, 10);
+
+    const auto suite = cnfgen::sat2017_substitute_suite(suite_scale,
+                                                        scale.seed);
+    std::printf("=== Table II -- SAT-2017 substitute rows ===\n");
+    std::printf("suite: %zu generated instances (families:", suite.size());
+    std::string last;
+    for (const auto& inst : suite) {
+        if (inst.family != last) {
+            std::printf(" %s", inst.family.c_str());
+            last = inst.family;
+        }
+    }
+    std::printf("), timeout %.0fs\n", scale.timeout_s);
+
+    std::vector<const sat::Cnf*> all;
+    for (const auto& inst : suite) all.push_back(&inst.cnf);
+
+    // Hard subset: proxy difficulty = plain minisat-like runtime, as in the
+    // paper (they keep instances needing > 2,500 s; we keep > timeout / 2).
+    std::vector<const sat::Cnf*> hard;
+    for (const auto& inst : suite) {
+        const auto probe = sat::solve_cnf(inst.cnf,
+                                          sat::SolverKind::kMinisatLike,
+                                          scale.timeout_s / 2);
+        if (probe.result == sat::Result::kUnknown) hard.push_back(&inst.cnf);
+    }
+    std::printf("hard subset (minisat-like > %.0fs): %zu instances\n\n",
+                scale.timeout_s / 2, hard.size());
+
+    std::printf("%-16s %-3s  %-15s  %-15s  %-15s\n", "set", "",
+                "minisat-like", "lingeling-like", "cms-like");
+    constexpr sat::SolverKind kKinds[] = {sat::SolverKind::kMinisatLike,
+                                          sat::SolverKind::kLingelingLike,
+                                          sat::SolverKind::kCmsLike};
+    struct Set {
+        const char* name;
+        const std::vector<const sat::Cnf*>* instances;
+    };
+    const Set sets[] = {{"SAT-sub (all)", &all}, {"SAT-sub (hard)", &hard}};
+    for (const auto& set : sets) {
+        for (const bool with : {false, true}) {
+            std::printf("%-16s %-3s", with ? "" : set.name, with ? "w" : "w/o");
+            for (const auto kind : kKinds) {
+                const Row row = run(*set.instances, kind, with, scale);
+                std::printf("  %8.1f (%zu+%zu)", row.par2, row.sat, row.unsat);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf(
+        "\npaper shape: learning helps most on UNSAT instances and for the "
+        "GJE-enabled (cms-like) solver; XOR-rich families are decided "
+        "inside Bosphorus via GF(2) elimination.\n");
+    return 0;
+}

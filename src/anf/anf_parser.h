@@ -1,0 +1,46 @@
+// Text I/O for ANF polynomial systems.
+//
+// Accepted grammar (one polynomial equation per line, implicitly "= 0"):
+//
+//   poly     := term ('+' term)*
+//   term     := factor ('*' factor)*
+//   factor   := '0' | '1' | var
+//   var      := 'x' DIGITS | 'x(' DIGITS ')'
+//
+// Variables are 1-based in the text format (x1, x2, ...), matching the
+// paper's notation and the original tool; internally they are 0-based.
+// Lines starting with 'c' or '#' are comments; blank lines are skipped.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "anf/polynomial.h"
+
+namespace bosphorus::anf {
+
+/// Error thrown on malformed ANF text.
+struct ParseError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// Parse a single polynomial, e.g. "x1*x2 + x3 + 1".
+Polynomial parse_polynomial(const std::string& text);
+
+/// A parsed system: list of polynomial equations plus the number of
+/// variables (1 + max index seen).
+struct ParsedSystem {
+    std::vector<Polynomial> polynomials;
+    size_t num_vars = 0;
+};
+
+ParsedSystem parse_system(std::istream& in);
+ParsedSystem parse_system_from_string(const std::string& text);
+
+/// Write a system in the same format (one polynomial per line).
+void write_system(std::ostream& out, const std::vector<Polynomial>& polys);
+
+}  // namespace bosphorus::anf

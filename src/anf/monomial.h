@@ -1,0 +1,96 @@
+// Monomials over GF(2): products of distinct Boolean variables.
+//
+// Because x^2 = x in the Boolean ring GF(2)[x_1..x_n]/(x_i^2 + x_i), a
+// monomial is fully described by the *set* of variables it contains. We store
+// that set as a sorted vector of variable indices; the empty set is the
+// constant monomial 1.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bosphorus::anf {
+
+using Var = uint32_t;
+
+class Monomial {
+public:
+    /// The constant monomial 1.
+    Monomial() = default;
+
+    /// Single-variable monomial.
+    explicit Monomial(Var v) : vars_{v} {}
+
+    /// Monomial from a variable set; sorts and deduplicates (x^2 = x).
+    explicit Monomial(std::vector<Var> vars) : vars_(std::move(vars)) {
+        std::sort(vars_.begin(), vars_.end());
+        vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+    }
+
+    size_t degree() const { return vars_.size(); }
+    bool is_one() const { return vars_.empty(); }
+    const std::vector<Var>& vars() const { return vars_; }
+
+    bool contains(Var v) const {
+        return std::binary_search(vars_.begin(), vars_.end(), v);
+    }
+
+    /// Product of two monomials = union of their variable sets.
+    Monomial operator*(const Monomial& o) const {
+        Monomial r;
+        r.vars_.reserve(vars_.size() + o.vars_.size());
+        std::set_union(vars_.begin(), vars_.end(), o.vars_.begin(),
+                       o.vars_.end(), std::back_inserter(r.vars_));
+        return r;
+    }
+
+    /// True iff this monomial divides `o` (variable subset).
+    bool divides(const Monomial& o) const {
+        return std::includes(o.vars_.begin(), o.vars_.end(), vars_.begin(),
+                             vars_.end());
+    }
+
+    /// The quotient monomial with variable v removed; v must be present.
+    Monomial without(Var v) const {
+        Monomial r = *this;
+        r.vars_.erase(std::find(r.vars_.begin(), r.vars_.end(), v));
+        return r;
+    }
+
+    /// Evaluate under a full assignment (indexed by variable).
+    bool evaluate(const std::vector<bool>& assignment) const {
+        for (Var v : vars_) {
+            if (!assignment[v]) return false;
+        }
+        return true;
+    }
+
+    bool operator==(const Monomial& o) const { return vars_ == o.vars_; }
+    bool operator!=(const Monomial& o) const { return vars_ != o.vars_; }
+
+    /// Degree-lexicographic order: lower degree first, then lexicographic on
+    /// the variable lists. This is the canonical term order everywhere in the
+    /// library (XL expands "in ascending degree order" under this order).
+    bool operator<(const Monomial& o) const {
+        if (vars_.size() != o.vars_.size())
+            return vars_.size() < o.vars_.size();
+        return vars_ < o.vars_;
+    }
+
+    size_t hash() const {
+        size_t h = 0x9E3779B97F4A7C15ULL;
+        for (Var v : vars_) h = (h ^ v) * 0x100000001B3ULL;
+        return h;
+    }
+
+private:
+    std::vector<Var> vars_;
+};
+
+struct MonomialHash {
+    size_t operator()(const Monomial& m) const { return m.hash(); }
+};
+
+}  // namespace bosphorus::anf

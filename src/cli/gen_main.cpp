@@ -1,0 +1,125 @@
+// bosphorus_gen -- benchmark instance generator.
+//
+// Writes the paper's benchmark families to .anf / .cnf files so they can be
+// fed to this tool, the original Bosphorus, or any DIMACS solver:
+//
+//   bosphorus_gen sr      --rounds 1 --rows 4 --cols 4 --e 8 --out f.anf
+//   bosphorus_gen simon   --pairs 9 --rounds 7 --out f.anf
+//   bosphorus_gen bitcoin --k 10 --sha-rounds 16 --out f.anf
+//   bosphorus_gen ksat    --vars 100 --clauses 426 --out f.cnf
+//   bosphorus_gen php     --holes 8 --out f.cnf
+//   bosphorus_gen xorcycle --len 50 --unsat --out f.cnf
+//
+// All generators take --seed N (default 1).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "anf/anf_parser.h"
+#include "cnfgen/generators.h"
+#include "crypto/aes_small.h"
+#include "crypto/sha256.h"
+#include "crypto/simon.h"
+#include "sat/dimacs.h"
+
+namespace {
+
+using namespace bosphorus;
+
+int usage() {
+    std::puts(
+        "bosphorus_gen: benchmark instance generator\n"
+        "  sr       --rounds N --rows R --cols C --e E   small-scale AES\n"
+        "  simon    --pairs N --rounds R                 Simon32/64 SP/RC\n"
+        "  bitcoin  --k K --sha-rounds R                 nonce finding\n"
+        "  ksat     --vars N --clauses M [--k K]         random k-SAT\n"
+        "  php      --holes H                            pigeonhole\n"
+        "  xorcycle --len N [--unsat]                    XOR cycle\n"
+        "common:    --seed S --out FILE (default stdout)\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string family = argv[1];
+
+    std::map<std::string, std::string> opts;
+    bool unsat = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--unsat") {
+            unsat = true;
+        } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+            opts[a.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "bad argument: %s\n", a.c_str());
+            return usage();
+        }
+    }
+    auto get = [&](const char* key, long def) {
+        auto it = opts.find(key);
+        return it == opts.end() ? def : std::stol(it->second);
+    };
+    Rng rng(static_cast<uint64_t>(get("seed", 1)));
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (opts.count("out")) {
+        file.open(opts["out"]);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n", opts["out"].c_str());
+            return 2;
+        }
+        out = &file;
+    }
+
+    try {
+        if (family == "sr") {
+            crypto::SmallScaleAes::Params p;
+            p.rounds = get("rounds", 1);
+            p.rows = get("rows", 4);
+            p.cols = get("cols", 4);
+            p.e = get("e", 8);
+            const crypto::SmallScaleAes aes(p);
+            const auto inst = aes.random_instance(rng);
+            *out << "c small-scale AES SR(" << p.rounds << "," << p.rows
+                 << "," << p.cols << "," << p.e << ") key recovery; "
+                 << inst.num_vars << " vars\n";
+            anf::write_system(*out, inst.polys);
+        } else if (family == "simon") {
+            const crypto::Simon32 simon(get("rounds", 7));
+            const auto inst = simon.encode(get("pairs", 9), rng);
+            *out << "c Simon32/64 " << simon.rounds() << " rounds, "
+                 << get("pairs", 9) << " SP/RC pairs; " << inst.num_vars
+                 << " vars (first 64 = key)\n";
+            anf::write_system(*out, inst.polys);
+        } else if (family == "bitcoin") {
+            const auto inst = crypto::encode_bitcoin_nonce(
+                get("k", 10), get("sha-rounds", 16), rng);
+            *out << "c weakened bitcoin nonce finding: k=" << inst.k
+                 << ", sha rounds=" << inst.rounds << "; nonce bits are x1.."
+                 << "x32\n";
+            anf::write_system(*out, inst.polys);
+        } else if (family == "ksat") {
+            const auto cnf = cnfgen::random_ksat(
+                get("vars", 100), get("clauses", 426), get("k", 3), rng);
+            sat::write_dimacs(*out, cnf);
+        } else if (family == "php") {
+            sat::write_dimacs(*out, cnfgen::pigeonhole(get("holes", 8)));
+        } else if (family == "xorcycle") {
+            sat::write_dimacs(
+                *out, cnfgen::xor_cycle(get("len", 50), !unsat, rng));
+        } else {
+            return usage();
+        }
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 2;
+    }
+    return 0;
+}

@@ -1,0 +1,191 @@
+// bosphorus -- command-line front-end, mirroring the original tool's usage:
+//
+//   bosphorus --anf problem.anf [--cnf out.cnf] [--anfout out.anf] [opts]
+//   bosphorus --cnfin problem.cnf [--cnf out.cnf] [opts]
+//   bosphorus --solve            run the full pipeline and report SAT/UNSAT
+//
+// Options mirror the paper's parameters: -M, -D (xl degree), -K (karnaugh),
+// -L (xor cut), --lp (clause cut), -C (conflict budget start), --maxiters,
+// --timeout, --seed, -v.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "anf/anf_parser.h"
+#include "core/bosphorus.h"
+#include "core/cnf_to_anf.h"
+#include "core/pipeline.h"
+#include "sat/dimacs.h"
+
+namespace {
+
+using namespace bosphorus;
+
+void usage() {
+    std::puts(
+        "bosphorus: bridging ANF and CNF solvers (DATE'19 reproduction)\n"
+        "\n"
+        "usage:\n"
+        "  bosphorus --anf FILE   [options]   process an ANF problem\n"
+        "  bosphorus --cnfin FILE [options]   process a CNF problem\n"
+        "\n"
+        "output:\n"
+        "  --cnf FILE      write processed CNF (with learnt facts)\n"
+        "  --anfout FILE   write processed ANF\n"
+        "  --solve         run a back-end SAT solver on the processed CNF\n"
+        "  --solver NAME   minisat | lingeling | cms (default cms)\n"
+        "\n"
+        "parameters (paper section IV defaults):\n"
+        "  -M N            XL/ElimLin sample budget exponent (30)\n"
+        "  -D N            XL expansion degree (1)\n"
+        "  -K N            Karnaugh variable limit (8)\n"
+        "  -L N            XOR cutting length (5)\n"
+        "  --lp N          clause cutting length L' (5)\n"
+        "  -C N            SAT conflict budget start (10000)\n"
+        "  --maxiters N    max outer-loop iterations (64)\n"
+        "  --timeout S     Bosphorus time budget in seconds (1000)\n"
+        "  --no-xl / --no-el / --no-sat   disable a learning step\n"
+        "  --gb            enable the Groebner (Buchberger/F4) step\n"
+        "  --seed N        RNG seed (1)\n"
+        "  -v N            verbosity (0)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string anf_in, cnf_in, cnf_out, anf_out;
+    std::string solver_name = "cms";
+    bool solve = false;
+    core::Options opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--anf") anf_in = next();
+        else if (a == "--cnfin") cnf_in = next();
+        else if (a == "--cnf") cnf_out = next();
+        else if (a == "--anfout") anf_out = next();
+        else if (a == "--solve") solve = true;
+        else if (a == "--solver") solver_name = next();
+        else if (a == "-M") {
+            const unsigned m = std::stoul(next());
+            opt.xl.m_budget = m;
+            opt.elimlin.m_budget = m;
+        } else if (a == "-D") opt.xl.degree = std::stoul(next());
+        else if (a == "-K") opt.conv.karnaugh_k = std::stoul(next());
+        else if (a == "-L") opt.conv.xor_cut = std::stoul(next());
+        else if (a == "--lp") opt.clause_cut = std::stoul(next());
+        else if (a == "-C") opt.sat_conflicts_start = std::stoll(next());
+        else if (a == "--maxiters") opt.max_iterations = std::stoul(next());
+        else if (a == "--timeout") opt.time_budget_s = std::stod(next());
+        else if (a == "--gb") opt.use_groebner = true;
+        else if (a == "--no-xl") opt.use_xl = false;
+        else if (a == "--no-el") opt.use_elimlin = false;
+        else if (a == "--no-sat") opt.use_sat = false;
+        else if (a == "--seed") opt.seed = std::stoull(next());
+        else if (a == "-v") opt.verbosity = std::stoi(next());
+        else if (a == "-h" || a == "--help") { usage(); return 0; }
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (anf_in.empty() == cnf_in.empty()) {
+        usage();
+        return 2;
+    }
+
+    core::Bosphorus tool(opt);
+    core::BosphorusResult res;
+    size_t problem_vars = 0;
+
+    try {
+        if (!anf_in.empty()) {
+            std::ifstream in(anf_in);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", anf_in.c_str());
+                return 2;
+            }
+            const anf::ParsedSystem sys = anf::parse_system(in);
+            problem_vars = sys.num_vars;
+            res = tool.process_anf(sys.polynomials, sys.num_vars);
+        } else {
+            std::ifstream in(cnf_in);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", cnf_in.c_str());
+                return 2;
+            }
+            const sat::Cnf cnf = sat::read_dimacs(in);
+            problem_vars = cnf.num_vars;
+            res = tool.process_cnf(cnf);
+        }
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 2;
+    }
+
+    std::fprintf(stderr,
+                 "c bosphorus: %zu iterations, %.2fs; facts: xl=%zu "
+                 "elimlin=%zu sat=%zu; vars fixed=%zu replaced=%zu\n",
+                 res.iterations, res.seconds, res.facts_from_xl,
+                 res.facts_from_elimlin, res.facts_from_sat, res.vars_fixed,
+                 res.vars_replaced);
+
+    if (!anf_out.empty()) {
+        std::ofstream out(anf_out);
+        anf::write_system(out, res.processed_anf);
+    }
+    if (!cnf_out.empty()) {
+        std::ofstream out(cnf_out);
+        sat::write_dimacs(out, res.processed_cnf.cnf);
+    }
+
+    if (res.status == sat::Result::kUnsat) {
+        std::puts("s UNSATISFIABLE");
+        return 20;
+    }
+    if (res.status == sat::Result::kSat) {
+        std::puts("s SATISFIABLE");
+        std::printf("v");
+        for (size_t v = 0; v < problem_vars; ++v)
+            std::printf(" %s%zu", res.solution[v] ? "" : "-", v + 1);
+        std::printf(" 0\n");
+        return 10;
+    }
+
+    if (solve) {
+        sat::SolverKind kind = sat::SolverKind::kCmsLike;
+        if (solver_name == "minisat") kind = sat::SolverKind::kMinisatLike;
+        else if (solver_name == "lingeling")
+            kind = sat::SolverKind::kLingelingLike;
+        const sat::SolveOutcome so = sat::solve_cnf(res.processed_cnf.cnf, kind);
+        if (so.result == sat::Result::kUnsat) {
+            std::puts("s UNSATISFIABLE");
+            return 20;
+        }
+        if (so.result == sat::Result::kSat) {
+            std::puts("s SATISFIABLE");
+            std::printf("v");
+            for (size_t v = 0; v < problem_vars && v < so.model.size(); ++v)
+                std::printf(" %s%zu",
+                            so.model[v] == sat::LBool::kTrue ? "" : "-",
+                            v + 1);
+            std::printf(" 0\n");
+            return 10;
+        }
+        std::puts("s UNKNOWN");
+        return 0;
+    }
+
+    std::puts("s UNKNOWN");
+    return 0;
+}

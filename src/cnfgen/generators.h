@@ -1,0 +1,63 @@
+// CNF benchmark generators -- the in-tree substitute for the SAT
+// Competition 2017 suite used in the paper's last two Table II rows.
+//
+// The real competition set cannot be redistributed here, so we generate a
+// mixed suite that exercises the same axes the paper's evaluation cares
+// about: a SAT/UNSAT mix, resolution-hard UNSAT instances (pigeonhole),
+// GF(2)-rich instances where XOR reasoning shines (parity chains -- these
+// are where Bosphorus/CMS-style reasoning helps most, matching the paper's
+// observation that the benefit concentrates on UNSAT instances), random
+// k-SAT near the phase transition, and structured graph colouring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+#include "util/rng.h"
+
+namespace bosphorus::cnfgen {
+
+/// Uniform random k-SAT with `num_clauses` clauses over `num_vars`
+/// variables (distinct variables per clause). At ratio ~4.26 (k = 3) the
+/// instances straddle the SAT/UNSAT threshold.
+sat::Cnf random_ksat(size_t num_vars, size_t num_clauses, unsigned k,
+                     Rng& rng);
+
+/// Pigeonhole principle PHP(holes + 1, holes): provably UNSAT,
+/// exponentially hard for resolution-based solvers.
+sat::Cnf pigeonhole(unsigned holes);
+
+/// A cycle of XOR constraints x_i ^ x_{i+1} ^ t_i = c_i, expanded to CNF.
+/// The parity of the constants makes the instance SAT or UNSAT; XOR-aware
+/// reasoning (recovery + Gauss-Jordan) decides it instantly while plain
+/// resolution struggles as `length` grows.
+sat::Cnf xor_cycle(size_t length, bool satisfiable, Rng& rng);
+
+/// Tseitin parity formula over a random 4-regular multigraph: one XOR
+/// constraint per vertex over its incident edge variables, with random
+/// charges whose total parity decides satisfiability. Odd-charged Tseitin
+/// formulas on expanders are the classic resolution-hard / GF(2)-easy
+/// family -- the sharpest separator between plain CDCL and the
+/// Bosphorus/CMS-style reasoning the paper highlights.
+sat::Cnf tseitin_expander(size_t vertices, bool satisfiable, Rng& rng);
+
+/// Random graph k-colouring: `num_vertices` vertices, `num_edges` random
+/// edges, `colors` colours (one-hot encoding with at-most-one clauses).
+sat::Cnf graph_coloring(size_t num_vertices, size_t num_edges,
+                        unsigned colors, Rng& rng);
+
+/// A named instance of the generated competition-substitute suite.
+struct SuiteInstance {
+    std::string name;
+    std::string family;
+    sat::Cnf cnf;
+};
+
+/// The mixed suite standing in for the SAT-2017 rows of Table II. `scale`
+/// stretches instance sizes (1 = smoke-test size).
+std::vector<SuiteInstance> sat2017_substitute_suite(unsigned scale,
+                                                    uint64_t seed);
+
+}  // namespace bosphorus::cnfgen

@@ -1,0 +1,288 @@
+#include "core/anf_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bosphorus::core {
+
+AnfSystem::AnfSystem(std::vector<Polynomial> polynomials, size_t num_vars)
+    : occ_(num_vars), states_(num_vars) {
+    originals_ = polynomials;
+    for (auto& p : polynomials) store(std::move(p));
+    propagate();
+}
+
+VarState AnfSystem::resolve(Var v) const {
+    bool flip = false;
+    // Follow the replacement chain; chains are short because equate()
+    // always re-points to a terminal variable, but stay safe regardless.
+    Var cur = v;
+    for (;;) {
+        const VarState& st = states_[cur];
+        switch (st.kind) {
+            case VarState::Kind::kFree: {
+                VarState out;
+                out.kind = VarState::Kind::kReplaced;
+                out.root = cur;
+                out.flip = flip;
+                if (cur == v && !flip) out.kind = VarState::Kind::kFree;
+                return out;
+            }
+            case VarState::Kind::kFixed: {
+                VarState out;
+                out.kind = VarState::Kind::kFixed;
+                out.value = st.value ^ flip;
+                return out;
+            }
+            case VarState::Kind::kReplaced:
+                flip ^= st.flip;
+                cur = st.root;
+                break;
+        }
+    }
+}
+
+Polynomial AnfSystem::normalise(const Polynomial& p) const {
+    Polynomial out = p;
+    for (Var v : p.variables()) {
+        const VarState st = resolve(v);
+        if (st.kind == VarState::Kind::kFixed) {
+            out = out.substitute(v, Polynomial::constant(st.value));
+        } else if (st.kind == VarState::Kind::kReplaced &&
+                   (st.root != v || st.flip)) {
+            Polynomial repl = Polynomial::variable(st.root);
+            if (st.flip) repl += Polynomial::constant(true);
+            out = out.substitute(v, repl);
+        }
+    }
+    return out;
+}
+
+void AnfSystem::store(Polynomial p) {
+    p = normalise(p);
+    if (p.is_zero()) return;
+    if (dedup_.count(p)) return;
+    dedup_.insert(p);
+    const uint32_t idx = static_cast<uint32_t>(polys_.size());
+    for (Var v : p.variables()) occ_[v].push_back(idx);
+    polys_.push_back(std::move(p));
+    removed_.push_back(false);
+    queued_.push_back(true);
+    queue_.push_back(idx);
+}
+
+bool AnfSystem::add_fact(const Polynomial& p) {
+    if (!ok_) return false;
+    const Polynomial n = normalise(p);
+    if (n.is_zero()) return false;
+    if (dedup_.count(n)) return false;
+    store(n);
+    propagate();
+    return true;
+}
+
+void AnfSystem::touch(Var v) {
+    for (uint32_t idx : occ_[v]) {
+        if (!removed_[idx] && !queued_[idx]) {
+            queued_[idx] = true;
+            queue_.push_back(idx);
+        }
+    }
+}
+
+bool AnfSystem::assign(Var v, bool value) {
+    const VarState st = resolve(v);
+    if (st.kind == VarState::Kind::kFixed) {
+        if (st.value != value) ok_ = false;
+        return ok_;
+    }
+    const Var root = (st.kind == VarState::Kind::kFree) ? v : st.root;
+    const bool root_value = value ^ st.flip;
+    states_[root].kind = VarState::Kind::kFixed;
+    states_[root].value = root_value;
+    touch(root);
+    return true;
+}
+
+bool AnfSystem::equate(Var a, Var b, bool flip) {
+    const VarState sa = resolve(a);
+    const VarState sb = resolve(b);
+    // Fixed cases degrade to assignments.
+    if (sa.kind == VarState::Kind::kFixed && sb.kind == VarState::Kind::kFixed) {
+        if ((sa.value ^ sb.value) != flip) ok_ = false;
+        return ok_;
+    }
+    if (sa.kind == VarState::Kind::kFixed)
+        return assign(b, sa.value ^ flip);
+    if (sb.kind == VarState::Kind::kFixed)
+        return assign(a, sb.value ^ flip);
+
+    const Var ra = (sa.kind == VarState::Kind::kFree) ? a : sa.root;
+    const Var rb = (sb.kind == VarState::Kind::kFree) ? b : sb.root;
+    const bool rel = flip ^ sa.flip ^ sb.flip;  // ra == rb ^ rel
+    if (ra == rb) {
+        if (rel) ok_ = false;  // x == !x
+        return ok_;
+    }
+    // Replace the variable with the shorter occurrence list.
+    const Var loser = (occ_[ra].size() <= occ_[rb].size()) ? ra : rb;
+    const Var keeper = (loser == ra) ? rb : ra;
+    states_[loser].kind = VarState::Kind::kReplaced;
+    states_[loser].root = keeper;
+    states_[loser].flip = rel;
+    touch(loser);
+    return true;
+}
+
+void AnfSystem::renormalise(size_t i) {
+    const Polynomial n = normalise(polys_[i]);
+    if (n == polys_[i]) return;
+    dedup_.erase(polys_[i]);
+    removed_[i] = true;  // retire the old slot; store() creates a fresh one
+    if (!n.is_zero()) store(n);
+}
+
+bool AnfSystem::analyse(size_t i) {
+    const Polynomial& p = polys_[i];
+    if (p.is_zero()) {
+        removed_[i] = true;
+        return true;
+    }
+    if (p.is_one()) {
+        ok_ = false;
+        return false;
+    }
+    const size_t nm = p.size();
+    const bool has_one = p.has_constant_term();
+
+    if (nm == 1 && p.degree() == 1) {
+        // p = x: x := 0.
+        removed_[i] = true;
+        return assign(p.monomials()[0].vars()[0], false);
+    }
+    if (nm == 2 && has_one && p.degree() == 1) {
+        // p = x + 1: x := 1.
+        removed_[i] = true;
+        return assign(p.monomials()[1].vars()[0], true);
+    }
+    if (nm == 2 && has_one && p.degree() >= 2) {
+        // p = x1...xk + 1: every variable := 1 (monomial fact).
+        removed_[i] = true;
+        for (Var v : p.monomials()[1].vars()) {
+            if (!assign(v, true)) return false;
+        }
+        return true;
+    }
+    if (nm == 2 && !has_one && p.degree() == 1) {
+        // p = x + y: x == y.
+        removed_[i] = true;
+        return equate(p.monomials()[0].vars()[0], p.monomials()[1].vars()[0],
+                      false);
+    }
+    if (nm == 3 && has_one && p.degree() == 1) {
+        // p = x + y + 1: x == !y.
+        removed_[i] = true;
+        return equate(p.monomials()[1].vars()[0], p.monomials()[2].vars()[0],
+                      true);
+    }
+    return true;
+}
+
+bool AnfSystem::propagate() {
+    while (ok_ && !queue_.empty()) {
+        const uint32_t i = queue_.back();
+        queue_.pop_back();
+        queued_[i] = false;
+        if (removed_[i]) continue;
+        // Normalise first (states may have changed since queueing)...
+        const Polynomial n = normalise(polys_[i]);
+        if (n != polys_[i]) {
+            dedup_.erase(polys_[i]);
+            removed_[i] = true;
+            if (!n.is_zero()) store(n);
+            continue;  // the fresh copy is queued
+        }
+        // ...then analyse for facts.
+        if (!analyse(i)) break;
+    }
+    return ok_;
+}
+
+std::vector<Polynomial> AnfSystem::equations() const {
+    std::vector<Polynomial> out;
+    for (size_t i = 0; i < polys_.size(); ++i) {
+        if (!removed_[i]) out.push_back(polys_[i]);
+    }
+    return out;
+}
+
+std::vector<Polynomial> AnfSystem::to_polynomials() const {
+    std::vector<Polynomial> out = equations();
+    for (Var v = 0; v < states_.size(); ++v) {
+        const VarState& st = states_[v];
+        if (st.kind == VarState::Kind::kFixed) {
+            // x (+1): x = st.value.
+            Polynomial p = Polynomial::variable(v);
+            if (st.value) p += Polynomial::constant(true);
+            out.push_back(std::move(p));
+        } else if (st.kind == VarState::Kind::kReplaced) {
+            const VarState r = resolve(v);
+            if (r.kind == VarState::Kind::kFixed) {
+                Polynomial p = Polynomial::variable(v);
+                if (r.value) p += Polynomial::constant(true);
+                out.push_back(std::move(p));
+            } else {
+                Polynomial p =
+                    Polynomial::variable(v) + Polynomial::variable(r.root);
+                if (r.flip) p += Polynomial::constant(true);
+                out.push_back(std::move(p));
+            }
+        }
+    }
+    return out;
+}
+
+size_t AnfSystem::num_fixed() const {
+    size_t n = 0;
+    for (Var v = 0; v < states_.size(); ++v) {
+        if (resolve(v).kind == VarState::Kind::kFixed) ++n;
+    }
+    return n;
+}
+
+size_t AnfSystem::num_replaced() const {
+    size_t n = 0;
+    for (Var v = 0; v < states_.size(); ++v) {
+        const VarState st = resolve(v);
+        if (st.kind == VarState::Kind::kReplaced && (st.root != v || st.flip))
+            ++n;
+    }
+    return n;
+}
+
+bool AnfSystem::check_solution(const std::vector<bool>& assignment) const {
+    for (const auto& p : originals_) {
+        if (p.evaluate(assignment)) return false;  // p must equal 0
+    }
+    return true;
+}
+
+std::vector<bool> AnfSystem::extend_assignment(
+    const std::vector<bool>& free_values) const {
+    std::vector<bool> full(states_.size(), false);
+    for (Var v = 0; v < states_.size(); ++v) {
+        const VarState st = resolve(v);
+        if (st.kind == VarState::Kind::kFixed) {
+            full[v] = st.value;
+        } else if (st.kind == VarState::Kind::kFree) {
+            full[v] = v < free_values.size() ? free_values[v] : false;
+        } else {
+            const bool root_val =
+                st.root < free_values.size() ? free_values[st.root] : false;
+            full[v] = root_val ^ st.flip;
+        }
+    }
+    return full;
+}
+
+}  // namespace bosphorus::core

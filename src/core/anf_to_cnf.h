@@ -1,0 +1,53 @@
+// ANF -> CNF conversion (paper section III-C).
+//
+// Every ANF variable maps to the CNF variable with the same index.
+// Polynomials are first cut into chunks of at most L monomials ("XOR-cutting
+// length") by introducing chaining auxiliary variables; each chunk is then
+// converted either
+//   (1) via the Karnaugh-map path (<= K distinct variables): enumerate the
+//       chunk's truth table and emit a minimal clause cover (our
+//       Quine-McCluskey minimiser substitutes for ESPRESSO), or
+//   (2) via the Tseitin path: each degree >= 2 monomial gets an auxiliary
+//       AND variable (kept in a bidirectional monomial <-> variable map),
+//       and the resulting XOR of literals is emitted either as 2^(l-1)
+//       plain clauses or as a native XOR constraint for the CMS-like solver.
+//
+// Auxiliary variables (both monomial and cutting) never participate in
+// learnt facts; everything >= num_anf_vars is auxiliary.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "sat/types.h"
+
+namespace bosphorus::core {
+
+struct Anf2CnfConfig {
+    unsigned karnaugh_k = 8;  ///< K: max vars for the Karnaugh-map path
+    unsigned xor_cut = 5;     ///< L: max monomials per chunk
+    bool native_xor = false;  ///< emit XOR chunks as native constraints
+};
+
+struct Anf2CnfResult {
+    sat::Cnf cnf;
+    size_t num_anf_vars = 0;  ///< CNF vars < this are original ANF vars
+
+    /// Bidirectional monomial <-> auxiliary-variable map.
+    std::unordered_map<anf::Monomial, sat::Var, anf::MonomialHash> var_of_mono;
+    std::vector<anf::Monomial> mono_of_var;  // indexed by (var - num_anf_vars);
+                                             // empty monomial = cutting aux
+
+    /// Conversion statistics (for the Fig. 2 comparison).
+    size_t karnaugh_polys = 0;
+    size_t tseitin_polys = 0;
+    size_t cut_chunks = 0;
+};
+
+/// Convert a polynomial system (each polynomial an equation p = 0) to CNF.
+Anf2CnfResult anf_to_cnf(const std::vector<anf::Polynomial>& polys,
+                         size_t num_vars, const Anf2CnfConfig& cfg = {});
+
+}  // namespace bosphorus::core

@@ -1,0 +1,77 @@
+#include "core/cnf_to_anf.h"
+
+#include <algorithm>
+
+namespace bosphorus::core {
+
+using anf::Monomial;
+using anf::Polynomial;
+
+namespace {
+
+/// Product of negated literals: positive literal x contributes (x + 1),
+/// negative literal !x contributes x.
+Polynomial clause_to_polynomial(const std::vector<sat::Lit>& clause) {
+    Polynomial prod = Polynomial::constant(true);
+    for (sat::Lit l : clause) {
+        Polynomial factor = Polynomial::variable(l.var());
+        if (!l.sign()) factor += Polynomial::constant(true);
+        prod = prod * factor;
+    }
+    return prod;
+}
+
+size_t count_positive(const std::vector<sat::Lit>& clause) {
+    size_t n = 0;
+    for (sat::Lit l : clause)
+        if (!l.sign()) ++n;
+    return n;
+}
+
+}  // namespace
+
+Cnf2AnfResult cnf_to_anf(const sat::Cnf& cnf, unsigned clause_cut) {
+    Cnf2AnfResult res;
+    res.num_original_vars = cnf.num_vars;
+    res.num_vars = cnf.num_vars;
+    const size_t max_pos = std::max<unsigned>(clause_cut, 1);
+
+    std::vector<std::vector<sat::Lit>> work = cnf.clauses;
+    for (size_t i = 0; i < work.size(); ++i) {
+        std::vector<sat::Lit> clause = work[i];
+        if (count_positive(clause) > max_pos) {
+            ++res.cut_clauses;
+            // Keep literals until we have used max_pos - 1 positives, then
+            // bridge the remainder with a fresh auxiliary variable:
+            //   (head | t)  and  (!t | tail...)
+            std::vector<sat::Lit> head, tail;
+            size_t pos_used = 0;
+            for (sat::Lit l : clause) {
+                if (!l.sign() && pos_used >= max_pos - 1) {
+                    tail.push_back(l);
+                } else {
+                    if (!l.sign()) ++pos_used;
+                    head.push_back(l);
+                }
+            }
+            const sat::Var t = static_cast<sat::Var>(res.num_vars++);
+            head.push_back(sat::mk_lit(t, false));
+            tail.push_back(sat::mk_lit(t, true));
+            res.polys.push_back(clause_to_polynomial(head));
+            work.push_back(std::move(tail));  // may need further cutting
+            continue;
+        }
+        res.polys.push_back(clause_to_polynomial(clause));
+    }
+
+    // Native XOR constraints: directly linear polynomials.
+    for (const auto& x : cnf.xors) {
+        std::vector<Monomial> monos;
+        for (sat::Var v : x.vars) monos.emplace_back(v);
+        if (x.rhs) monos.emplace_back();  // constant 1
+        res.polys.emplace_back(std::move(monos));
+    }
+    return res;
+}
+
+}  // namespace bosphorus::core

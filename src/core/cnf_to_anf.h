@@ -1,0 +1,30 @@
+// CNF -> ANF conversion (paper section III-D).
+//
+// Each CNF variable maps to the ANF variable of the same index; each clause
+// becomes the product of its negated literals (Hsiang's refutational
+// encoding): clause !x1 | x2 gives (x1)(x2 + 1) = x1*x2 + x1 = 0.
+//
+// A clause with n positive literals expands to 2^n monomials, so clauses
+// are first re-expressed with at most L' positive literals each ("clause-
+// cutting length") by introducing auxiliary variables, a` la k-SAT to 3-SAT.
+// Native XOR constraints convert directly to linear polynomials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "sat/types.h"
+
+namespace bosphorus::core {
+
+struct Cnf2AnfResult {
+    std::vector<anf::Polynomial> polys;
+    size_t num_vars = 0;           ///< including cutting auxiliaries
+    size_t num_original_vars = 0;  ///< the CNF's own variables
+    size_t cut_clauses = 0;        ///< clauses that needed splitting
+};
+
+Cnf2AnfResult cnf_to_anf(const sat::Cnf& cnf, unsigned clause_cut = 5);
+
+}  // namespace bosphorus::core

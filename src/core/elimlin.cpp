@@ -1,0 +1,121 @@
+#include "core/elimlin.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/linearize.h"
+
+namespace bosphorus::core {
+
+using anf::Polynomial;
+using anf::Var;
+
+std::vector<Polynomial> run_elimlin(const std::vector<Polynomial>& system,
+                                    const ElimLinConfig& cfg, Rng& rng,
+                                    ElimLinStats* stats) {
+    if (system.empty()) return {};
+
+    const size_t sample_budget = size_t{1} << std::min(cfg.m_budget, 48u);
+    const std::vector<size_t> chosen = subsample(system, sample_budget, rng);
+    std::vector<Polynomial> work;
+    work.reserve(chosen.size());
+    for (size_t idx : chosen) work.push_back(system[idx]);
+
+    std::vector<Polynomial> facts;
+    std::unordered_set<Polynomial, anf::PolynomialHash> fact_set;
+    size_t iterations = 0;
+    size_t eliminated = 0;
+
+    auto add_fact = [&](const Polynomial& p) {
+        if (p.is_zero()) return;
+        if (fact_set.insert(p).second) facts.push_back(p);
+    };
+
+    for (; iterations < cfg.max_iterations; ++iterations) {
+        // Step (1): GJE on the linearisation.
+        Linearization lin = linearize(work);
+        lin.matrix.rref();
+
+        // Step (2): gather linear equations from the reduced rows.
+        std::vector<Polynomial> linear;
+        std::vector<Polynomial> nonlinear;
+        bool contradiction = false;
+        for (size_t r = 0; r < lin.rows(); ++r) {
+            if (lin.matrix.row_is_zero(r)) continue;
+            Polynomial p = row_to_polynomial(lin, r);
+            if (p.is_one()) {
+                contradiction = true;
+                break;
+            }
+            if (p.degree() <= 1) {
+                linear.push_back(std::move(p));
+            } else {
+                nonlinear.push_back(std::move(p));
+            }
+        }
+        if (contradiction) {
+            facts.clear();
+            facts.push_back(Polynomial::constant(true));
+            break;
+        }
+        if (linear.empty()) break;
+        for (const auto& l : linear) add_fact(l);
+
+        // Step (3): eliminate one variable per linear equation by
+        // substitution into the linear-free remainder.
+        work = std::move(nonlinear);
+        std::vector<Polynomial> pending(linear.begin(), linear.end());
+        for (size_t li = 0; li < pending.size(); ++li) {
+            Polynomial l = pending[li];
+            if (l.is_zero()) continue;
+            if (l.is_one()) {
+                facts.clear();
+                facts.push_back(Polynomial::constant(true));
+                return facts;
+            }
+            if (l.degree() < 1) continue;
+            // Count occurrences of each candidate variable in the remaining
+            // system; pick the rarest (paper's heuristic).
+            std::vector<Var> cand = l.variables();
+            Var best = cand[0];
+            size_t best_count = SIZE_MAX;
+            for (Var v : cand) {
+                size_t count = 0;
+                for (const auto& q : work) count += q.contains_var(v);
+                for (size_t lj = li + 1; lj < pending.size(); ++lj)
+                    count += pending[lj].contains_var(v);
+                if (count < best_count) {
+                    best = v;
+                    best_count = count;
+                }
+            }
+            // l = best + rest  =>  best := rest.
+            Polynomial rest = l + Polynomial::variable(best);
+            for (auto& q : work) {
+                if (q.contains_var(best)) q = q.substitute(best, rest);
+            }
+            for (size_t lj = li + 1; lj < pending.size(); ++lj) {
+                if (pending[lj].contains_var(best))
+                    pending[lj] = pending[lj].substitute(best, rest);
+            }
+            ++eliminated;
+        }
+        // Drop zero polynomials created by substitution.
+        work.erase(std::remove_if(work.begin(), work.end(),
+                                  [](const Polynomial& p) {
+                                      return p.is_zero();
+                                  }),
+                   work.end());
+        if (work.empty()) break;
+    }
+
+    if (stats) {
+        stats->sampled_equations = chosen.size();
+        stats->iterations = iterations;
+        stats->eliminated_vars = eliminated;
+        stats->facts = facts.size();
+    }
+    return facts;
+}
+
+}  // namespace bosphorus::core

@@ -1,0 +1,84 @@
+#include "core/linearize.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bosphorus::core {
+
+using anf::Monomial;
+using anf::Polynomial;
+
+Linearization linearize(const std::vector<Polynomial>& polys) {
+    Linearization lin;
+
+    // Collect distinct monomials.
+    std::unordered_set<Monomial, anf::MonomialHash> monos;
+    for (const auto& p : polys) {
+        for (const auto& m : p.monomials()) monos.insert(m);
+    }
+    lin.col_monomial.assign(monos.begin(), monos.end());
+    // Descending deg-lex: highest-degree monomials in the leftmost columns.
+    std::sort(lin.col_monomial.begin(), lin.col_monomial.end(),
+              [](const Monomial& a, const Monomial& b) { return b < a; });
+    for (size_t c = 0; c < lin.col_monomial.size(); ++c)
+        lin.col_of.emplace(lin.col_monomial[c], c);
+
+    lin.matrix = gf2::Matrix(polys.size(), lin.col_monomial.size());
+    for (size_t r = 0; r < polys.size(); ++r) {
+        for (const auto& m : polys[r].monomials())
+            lin.matrix.flip(r, lin.col_of.at(m));
+    }
+    return lin;
+}
+
+Polynomial row_to_polynomial(const Linearization& lin, size_t row) {
+    std::vector<Monomial> monos;
+    for (size_t c = 0; c < lin.cols(); ++c) {
+        if (lin.matrix.get(row, c)) monos.push_back(lin.col_monomial[c]);
+    }
+    return Polynomial(std::move(monos));
+}
+
+std::vector<Polynomial> extract_facts(const Linearization& lin) {
+    std::vector<Polynomial> facts;
+    for (size_t r = 0; r < lin.rows(); ++r) {
+        if (lin.matrix.row_is_zero(r)) continue;
+        const Polynomial p = row_to_polynomial(lin, r);
+        if (p.is_one()) {
+            // 1 = 0: contradiction -- dominates everything else.
+            return {Polynomial::constant(true)};
+        }
+        const bool is_linear = p.degree() <= 1;
+        const bool is_monomial_fact = p.size() == 2 &&
+                                      p.has_constant_term() &&
+                                      p.degree() >= 2;
+        if (is_linear || is_monomial_fact) facts.push_back(p);
+    }
+    return facts;
+}
+
+size_t linearized_size(const std::vector<Polynomial>& polys) {
+    std::unordered_set<Monomial, anf::MonomialHash> monos;
+    for (const auto& p : polys)
+        for (const auto& m : p.monomials()) monos.insert(m);
+    return polys.size() * monos.size();
+}
+
+std::vector<size_t> subsample(const std::vector<Polynomial>& polys,
+                              size_t budget, Rng& rng) {
+    std::vector<size_t> order(polys.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    std::unordered_set<Monomial, anf::MonomialHash> monos;
+    std::vector<size_t> chosen;
+    for (size_t idx : order) {
+        chosen.push_back(idx);
+        for (const auto& m : polys[idx].monomials()) monos.insert(m);
+        if (chosen.size() * monos.size() >= budget) break;
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+}  // namespace bosphorus::core

@@ -1,0 +1,54 @@
+// Linearisation: treating each monomial as an independent GF(2) variable.
+//
+// Both XL and ElimLin work on the linearised system (paper sections II-B,
+// II-C): each distinct monomial maps to one matrix column and each
+// polynomial to one row; Gauss-Jordan elimination then runs on the gf2
+// matrix substrate.
+//
+// Columns are ordered *descending* in degree-lexicographic order (constant
+// term last), so elimination removes high-degree monomials first and the
+// fully-reduced rows end with low-degree tails -- this is what makes the
+// retained rows of Table I come out as linear and monomial facts.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "gf2/gf2_matrix.h"
+
+namespace bosphorus::core {
+
+struct Linearization {
+    std::vector<anf::Monomial> col_monomial;  // column -> monomial
+    std::unordered_map<anf::Monomial, size_t, anf::MonomialHash> col_of;
+    gf2::Matrix matrix;
+
+    size_t rows() const { return matrix.rows(); }
+    size_t cols() const { return matrix.cols(); }
+};
+
+/// Build the linearised matrix of a polynomial system.
+Linearization linearize(const std::vector<anf::Polynomial>& polys);
+
+/// Reconstruct the polynomial encoded by a matrix row.
+anf::Polynomial row_to_polynomial(const Linearization& lin, size_t row);
+
+/// After RREF: collect the learnt facts Bosphorus retains -- rows that are
+/// linear equations, and rows of the form (monomial + 1). A row equal to the
+/// constant 1 (i.e. 1 = 0) is returned as the constant-one polynomial.
+std::vector<anf::Polynomial> extract_facts(const Linearization& lin);
+
+/// Linearised size m * n of a system: rows x distinct monomials. Used for
+/// the paper's 2^M subsampling budget.
+size_t linearized_size(const std::vector<anf::Polynomial>& polys);
+
+/// Uniformly subsample polynomials until the linearised size m'*n' reaches
+/// `budget` (~2^M), per paper sections II-B/II-C. Returns indices into
+/// `polys`. If the whole system fits in the budget, all indices are
+/// returned.
+std::vector<size_t> subsample(const std::vector<anf::Polynomial>& polys,
+                              size_t budget, Rng& rng);
+
+}  // namespace bosphorus::core

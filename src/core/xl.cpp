@@ -1,0 +1,120 @@
+#include "core/xl.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/linearize.h"
+
+namespace bosphorus::core {
+
+using anf::Monomial;
+using anf::Polynomial;
+using anf::Var;
+
+namespace {
+
+/// Enumerate monomials of degree 1..max_degree over `vars`, in ascending
+/// deg-lex order, invoking fn(monomial). Stops early when fn returns false.
+template <typename Fn>
+void for_each_multiplier(const std::vector<Var>& vars, unsigned max_degree,
+                         Fn&& fn) {
+    // Degree 1.
+    if (max_degree >= 1) {
+        for (Var v : vars) {
+            if (!fn(Monomial(v))) return;
+        }
+    }
+    // Degree 2.
+    if (max_degree >= 2) {
+        for (size_t i = 0; i < vars.size(); ++i) {
+            for (size_t j = i + 1; j < vars.size(); ++j) {
+                if (!fn(Monomial(std::vector<Var>{vars[i], vars[j]}))) return;
+            }
+        }
+    }
+    // Degree 3 (XL beyond D=3 explodes; the paper uses D=1).
+    if (max_degree >= 3) {
+        for (size_t i = 0; i < vars.size(); ++i)
+            for (size_t j = i + 1; j < vars.size(); ++j)
+                for (size_t k = j + 1; k < vars.size(); ++k) {
+                    if (!fn(Monomial(std::vector<Var>{vars[i], vars[j],
+                                                      vars[k]})))
+                        return;
+                }
+    }
+}
+
+}  // namespace
+
+std::vector<Polynomial> run_xl(const std::vector<Polynomial>& system,
+                               const XlConfig& cfg, Rng& rng, XlStats* stats) {
+    if (system.empty()) return {};
+
+    const size_t sample_budget = size_t{1} << std::min(cfg.m_budget, 48u);
+    const size_t expand_budget = size_t{1}
+                                 << std::min(cfg.m_budget + cfg.delta_m, 52u);
+
+    // 1. Uniform subsample to ~2^M linearised size.
+    const std::vector<size_t> chosen = subsample(system, sample_budget, rng);
+    std::vector<Polynomial> sampled;
+    sampled.reserve(chosen.size());
+    for (size_t idx : chosen) sampled.push_back(system[idx]);
+    // Ascending degree order for the expansion pass.
+    std::stable_sort(sampled.begin(), sampled.end(),
+                     [](const Polynomial& a, const Polynomial& b) {
+                         return a.degree() < b.degree();
+                     });
+
+    // Variables of the sampled subsystem are the multiplier alphabet.
+    std::vector<Var> vars;
+    {
+        std::unordered_set<Var> seen;
+        for (const auto& p : sampled)
+            for (Var v : p.variables()) seen.insert(v);
+        vars.assign(seen.begin(), seen.end());
+        std::sort(vars.begin(), vars.end());
+    }
+
+    // 2. Incremental expansion, capped at ~2^(M + deltaM) bits.
+    std::vector<Polynomial> expanded = sampled;
+    std::unordered_set<Monomial, anf::MonomialHash> monos;
+    for (const auto& p : expanded)
+        for (const auto& m : p.monomials()) monos.insert(m);
+
+    auto size_ok = [&]() {
+        return expanded.size() * std::max<size_t>(monos.size(), 1) <
+               expand_budget;
+    };
+
+    for (const auto& p : sampled) {
+        if (!size_ok()) break;
+        bool keep_going = true;
+        for_each_multiplier(vars, cfg.degree, [&](const Monomial& mul) {
+            Polynomial prod = p * mul;
+            if (!prod.is_zero()) {
+                for (const auto& m : prod.monomials()) monos.insert(m);
+                expanded.push_back(std::move(prod));
+            }
+            keep_going = size_ok();
+            return keep_going;
+        });
+        if (!keep_going) break;
+    }
+
+    // 3. Gauss-Jordan elimination on the linearisation.
+    Linearization lin = linearize(expanded);
+    const size_t rank = lin.matrix.rref();
+
+    std::vector<Polynomial> facts = extract_facts(lin);
+
+    if (stats) {
+        stats->sampled_equations = sampled.size();
+        stats->expanded_rows = expanded.size();
+        stats->columns = lin.cols();
+        stats->rank = rank;
+        stats->facts = facts.size();
+    }
+    return facts;
+}
+
+}  // namespace bosphorus::core

@@ -1,0 +1,84 @@
+// Small-scale AES SR(n, r, c, e) -- Cid, Murphy & Robshaw (FSE 2005) -- as
+// used for the paper's SR-[1,4,4,8] benchmark class (500 instances of
+// 1-round AES with a 4x4 state of 8-bit words).
+//
+// Two halves:
+//   * a reference cipher (encrypt) used to generate plaintext/ciphertext
+//     pairs, and
+//   * an ANF encoder that emits the algebraic key-recovery system: S-boxes
+//     as implicit quadratic equations (derived by nullspace computation
+//     over our gf2 substrate, standing in for SageMath's sage.crypto.mq.sr),
+//     and the linear layers (ShiftRows, MixColumns, AddRoundKey, key
+//     schedule) as linear bit equations.
+//
+// Variable layout per instance: the master key k0, per-round key-schedule
+// S-box outputs, per-round round keys, and per-round S-box inputs/outputs.
+// Plaintext and ciphertext bits are folded in as constants (the paper's
+// SageMath encoding instead carries them as assigned variables; the solution
+// set over the key variables is identical).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "crypto/gf2e.h"
+#include "crypto/sbox_quadratics.h"
+#include "util/rng.h"
+
+namespace bosphorus::crypto {
+
+class SmallScaleAes {
+public:
+    struct Params {
+        unsigned rounds = 1;  ///< n
+        unsigned rows = 4;    ///< r in {1, 2, 4}
+        unsigned cols = 4;    ///< c in {1, 2, 4}
+        unsigned e = 8;       ///< word size in {4, 8}
+    };
+
+    explicit SmallScaleAes(Params p);
+
+    const Params& params() const { return p_; }
+    size_t num_words() const { return p_.rows * p_.cols; }
+    size_t block_bits() const { return num_words() * p_.e; }
+
+    /// The S-box (patched inverse followed by an affine map) and its table.
+    uint8_t sbox(uint8_t x) const { return sbox_[x]; }
+    const std::vector<uint8_t>& sbox_table() const { return sbox_; }
+
+    /// Encrypt one block. `plaintext` and `key` are column-major word
+    /// vectors of length rows*cols.
+    std::vector<uint8_t> encrypt(const std::vector<uint8_t>& plaintext,
+                                 const std::vector<uint8_t>& key) const;
+
+    /// An algebraic key-recovery instance.
+    struct Instance {
+        std::vector<anf::Polynomial> polys;
+        size_t num_vars = 0;
+        /// A satisfying assignment for every variable (from simulation);
+        /// useful for validating the encoding and SAT results.
+        std::vector<bool> witness;
+        std::vector<uint8_t> plaintext, key, ciphertext;
+    };
+
+    /// Encode the key-recovery problem for a known (P, C) pair, given the
+    /// true key (only used to produce the witness).
+    Instance encode(const std::vector<uint8_t>& plaintext,
+                    const std::vector<uint8_t>& key) const;
+
+    /// Random (P, K) pair, simulated to obtain C, then encoded.
+    Instance random_instance(Rng& rng) const;
+
+private:
+    std::vector<uint8_t> expand_key(const std::vector<uint8_t>& key,
+                                    unsigned round) const;
+
+    Params p_;
+    GF2E field_;
+    std::vector<uint8_t> sbox_;
+    std::vector<std::vector<uint8_t>> mix_;  // MixColumns matrix (rows x rows)
+    std::vector<TemplatePolynomial> sbox_eqs_;
+};
+
+}  // namespace bosphorus::crypto

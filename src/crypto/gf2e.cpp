@@ -1,0 +1,68 @@
+#include "crypto/gf2e.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bosphorus::crypto {
+
+GF2E::GF2E(unsigned e, unsigned modulus) : e_(e), mod_(modulus) {
+    if (e < 2 || e > 8) throw std::invalid_argument("GF2E: e must be in [2,8]");
+    if (mod_ == 0) {
+        switch (e) {
+            case 2: mod_ = 0x7; break;        // x^2 + x + 1
+            case 3: mod_ = 0xB; break;        // x^3 + x + 1
+            case 4: mod_ = 0x13; break;       // x^4 + x + 1
+            case 5: mod_ = 0x25; break;       // x^5 + x^2 + 1
+            case 6: mod_ = 0x43; break;       // x^6 + x + 1
+            case 7: mod_ = 0x83; break;       // x^7 + x + 1
+            case 8: mod_ = 0x11B; break;      // x^8 + x^4 + x^3 + x + 1 (AES)
+            default: break;
+        }
+    }
+}
+
+uint8_t GF2E::mul(uint8_t a, uint8_t b) const {
+    // Russian-peasant multiplication with modular reduction.
+    unsigned acc = 0;
+    unsigned aa = a;
+    unsigned bb = b;
+    while (bb) {
+        if (bb & 1) acc ^= aa;
+        bb >>= 1;
+        aa <<= 1;
+        if (aa & (1u << e_)) aa ^= mod_;
+    }
+    assert(acc < size());
+    return static_cast<uint8_t>(acc);
+}
+
+uint8_t GF2E::pow(uint8_t a, unsigned n) const {
+    uint8_t result = 1;
+    uint8_t base = a;
+    while (n) {
+        if (n & 1) result = mul(result, base);
+        base = mul(base, base);
+        n >>= 1;
+    }
+    return result;
+}
+
+uint8_t GF2E::inv(uint8_t a) const {
+    if (a == 0) return 0;  // patched inverse
+    // a^(2^e - 2) = a^{-1} by Fermat/Lagrange.
+    return pow(a, size() - 2);
+}
+
+std::vector<uint8_t> GF2E::mul_by_const_matrix(uint8_t c) const {
+    // Column j of the matrix is c * x^j; row i collects bit i across columns.
+    std::vector<uint8_t> rows(e_, 0);
+    for (unsigned j = 0; j < e_; ++j) {
+        const uint8_t col = mul(c, static_cast<uint8_t>(1u << j));
+        for (unsigned i = 0; i < e_; ++i) {
+            if ((col >> i) & 1) rows[i] |= static_cast<uint8_t>(1u << j);
+        }
+    }
+    return rows;
+}
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,46 @@
+// Arithmetic in GF(2^e), the word field of small-scale AES (Cid et al.,
+// "Small scale variants of the AES", FSE 2005).
+//
+// Elements are represented as e-bit integers (polynomial basis). The field
+// is defined by an irreducible polynomial; defaults are the standard AES
+// polynomial x^8+x^4+x^3+x+1 for e = 8 and x^4+x+1 for e = 4.
+//
+// Beyond plain arithmetic, the class exposes multiplication-by-constant as
+// a GF(2)-linear map on bits (an e x e Boolean matrix), which is what the
+// ANF encoder needs to write MixColumns as linear polynomial equations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bosphorus::crypto {
+
+class GF2E {
+public:
+    /// e in [2, 8]; modulus is the full irreducible polynomial including
+    /// the x^e term (0 picks the default for e = 4 or 8).
+    explicit GF2E(unsigned e, unsigned modulus = 0);
+
+    unsigned degree() const { return e_; }
+    unsigned size() const { return 1u << e_; }
+    unsigned modulus() const { return mod_; }
+
+    uint8_t add(uint8_t a, uint8_t b) const { return a ^ b; }
+    uint8_t mul(uint8_t a, uint8_t b) const;
+    uint8_t pow(uint8_t a, unsigned n) const;
+
+    /// Multiplicative inverse; inv(0) is defined as 0 (the AES convention
+    /// for the S-box "patched inverse").
+    uint8_t inv(uint8_t a) const;
+
+    /// The bit matrix L such that (c * x) as bit-vector = L xbits, column-
+    /// major: result_bit[i] = XOR over j with matrix[i][j] of x_bit[j].
+    /// matrix[i] is a bitmask of contributing input bits.
+    std::vector<uint8_t> mul_by_const_matrix(uint8_t c) const;
+
+private:
+    unsigned e_;
+    unsigned mod_;
+};
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,79 @@
+#include "crypto/sbox_quadratics.h"
+
+#include "gf2/gf2_matrix.h"
+
+namespace bosphorus::crypto {
+
+namespace {
+
+/// Build the ordered monomial basis of degree <= 2 over 2e abstract bits.
+std::vector<TemplateMonomial> monomial_basis(unsigned e) {
+    std::vector<TemplateMonomial> basis;
+    basis.push_back({});  // constant 1
+    for (uint8_t s = 0; s <= 1; ++s)
+        for (uint8_t b = 0; b < e; ++b) basis.push_back({TemplateBit{s, b}});
+    // x_i x_j (i < j), x_i y_j (all pairs), y_i y_j (i < j).
+    for (uint8_t i = 0; i < e; ++i)
+        for (uint8_t j = i + 1; j < e; ++j)
+            basis.push_back({TemplateBit{0, i}, TemplateBit{0, j}});
+    for (uint8_t i = 0; i < e; ++i)
+        for (uint8_t j = 0; j < e; ++j)
+            basis.push_back({TemplateBit{0, i}, TemplateBit{1, j}});
+    for (uint8_t i = 0; i < e; ++i)
+        for (uint8_t j = i + 1; j < e; ++j)
+            basis.push_back({TemplateBit{1, i}, TemplateBit{1, j}});
+    return basis;
+}
+
+bool eval_monomial(const TemplateMonomial& m, unsigned x, unsigned y) {
+    for (const TemplateBit& tb : m) {
+        const unsigned word = tb.side == 0 ? x : y;
+        if (!((word >> tb.bit) & 1)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<TemplatePolynomial> sbox_quadratics(
+    const std::vector<uint8_t>& table, unsigned e) {
+    const auto basis = monomial_basis(e);
+    const unsigned points = 1u << e;
+
+    // Rows: evaluation points; columns: monomials. A nullspace vector picks
+    // a subset of monomials XOR-summing to zero on every point.
+    gf2::Matrix m(points, basis.size());
+    for (unsigned x = 0; x < points; ++x) {
+        const unsigned y = table[x];
+        for (size_t c = 0; c < basis.size(); ++c) {
+            if (eval_monomial(basis[c], x, y)) m.set(x, c, true);
+        }
+    }
+    const auto null_basis = m.nullspace();
+
+    std::vector<TemplatePolynomial> eqs;
+    eqs.reserve(null_basis.size());
+    for (const auto& v : null_basis) {
+        TemplatePolynomial eq;
+        for (size_t c = 0; c < basis.size(); ++c) {
+            if (v[c]) eq.push_back(basis[c]);
+        }
+        eqs.push_back(std::move(eq));
+    }
+    return eqs;
+}
+
+bool verify_quadratics(const std::vector<uint8_t>& table, unsigned e,
+                       const std::vector<TemplatePolynomial>& eqs) {
+    const unsigned points = 1u << e;
+    for (const auto& eq : eqs) {
+        for (unsigned x = 0; x < points; ++x) {
+            bool acc = false;
+            for (const auto& mono : eq) acc ^= eval_monomial(mono, x, table[x]);
+            if (acc) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,45 @@
+// Implicit quadratic equations of an S-box, derived by linear algebra.
+//
+// For a bijective S-box y = S(x) on e-bit words, consider the monomial
+// basis {1, x_i, y_j, x_i x_j, x_i y_j, y_i y_j}. Evaluating every monomial
+// at all 2^e points (x, S(x)) gives a 2^e-by-#monomials GF(2) matrix whose
+// right nullspace is exactly the set of quadratic equations satisfied by
+// the S-box (Courtois-Pieprzyk: the AES S-box admits 39 such equations).
+// This uses our own gf2 substrate -- the same trick SageMath's SR module
+// plays with its own linear algebra.
+//
+// Equations come back as *template polynomials* over abstract input bits
+// (side 0) and output bits (side 1); the cipher encoder instantiates them
+// with concrete ANF variables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bosphorus::crypto {
+
+/// One abstract bit: side 0 = S-box input, side 1 = S-box output.
+struct TemplateBit {
+    uint8_t side = 0;
+    uint8_t bit = 0;
+    bool operator==(const TemplateBit& o) const {
+        return side == o.side && bit == o.bit;
+    }
+};
+
+/// A template monomial: product of 0..2 abstract bits (empty = constant 1).
+using TemplateMonomial = std::vector<TemplateBit>;
+
+/// A template polynomial equation (== 0): XOR of template monomials.
+using TemplatePolynomial = std::vector<TemplateMonomial>;
+
+/// All linearly independent quadratic (degree <= 2) implicit equations of
+/// the S-box `table` over e-bit words (table.size() == 2^e).
+std::vector<TemplatePolynomial> sbox_quadratics(
+    const std::vector<uint8_t>& table, unsigned e);
+
+/// Verify that every equation vanishes on all (x, S(x)) pairs.
+bool verify_quadratics(const std::vector<uint8_t>& table, unsigned e,
+                       const std::vector<TemplatePolynomial>& eqs);
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,178 @@
+#include "crypto/simon.h"
+
+#include <array>
+#include <cassert>
+
+namespace bosphorus::crypto {
+
+using anf::Polynomial;
+using anf::Var;
+
+namespace {
+
+// z0 constant sequence of Simon32/64 (period 62).
+constexpr const char* kZ0 =
+    "11111010001001010110000111001101111101000100101011000011100110";
+
+uint16_t f16(uint16_t x) {
+    auto rotl = [](uint16_t v, unsigned k) {
+        return static_cast<uint16_t>((v << k) | (v >> (16 - k)));
+    };
+    return static_cast<uint16_t>((rotl(x, 1) & rotl(x, 8)) ^ rotl(x, 2));
+}
+
+/// A 16-bit word whose bits are polynomials (constants, variables, or
+/// linear forms over the key).
+using PolyWord = std::array<Polynomial, 16>;
+
+PolyWord const_word(uint16_t v) {
+    PolyWord w;
+    for (unsigned b = 0; b < 16; ++b)
+        w[b] = Polynomial::constant((v >> b) & 1);
+    return w;
+}
+
+PolyWord var_word(Var base) {
+    PolyWord w;
+    for (unsigned b = 0; b < 16; ++b) w[b] = Polynomial::variable(base + b);
+    return w;
+}
+
+PolyWord xor_words(const PolyWord& a, const PolyWord& b) {
+    PolyWord out;
+    for (unsigned i = 0; i < 16; ++i) out[i] = a[i] + b[i];
+    return out;
+}
+
+PolyWord rotl_word(const PolyWord& a, unsigned k) {
+    PolyWord out;
+    for (unsigned i = 0; i < 16; ++i) out[i] = a[(i + 16 - k) % 16];
+    return out;
+}
+
+/// f(x) = (S^1 x & S^8 x) ^ S^2 x, bitwise on polynomial words.
+PolyWord f_word(const PolyWord& x) {
+    const PolyWord r1 = rotl_word(x, 1);
+    const PolyWord r8 = rotl_word(x, 8);
+    const PolyWord r2 = rotl_word(x, 2);
+    PolyWord out;
+    for (unsigned i = 0; i < 16; ++i) out[i] = r1[i] * r8[i] + r2[i];
+    return out;
+}
+
+}  // namespace
+
+std::vector<uint16_t> Simon32::round_keys(
+    const std::vector<uint16_t>& key) const {
+    assert(key.size() == kKeyWords);
+    std::vector<uint16_t> k(key.begin(), key.end());
+    constexpr uint16_t c = 0xFFFC;
+    auto rotr = [](uint16_t v, unsigned s) {
+        return static_cast<uint16_t>((v >> s) | (v << (16 - s)));
+    };
+    for (unsigned i = 0; i + kKeyWords < rounds_; ++i) {
+        uint16_t tmp = rotr(k[i + 3], 3) ^ k[i + 1];
+        tmp ^= rotr(tmp, 1);
+        const uint16_t z = (kZ0[i % 62] == '1') ? 1 : 0;
+        k.push_back(static_cast<uint16_t>(c ^ z ^ k[i] ^ tmp));
+    }
+    k.resize(rounds_);
+    return k;
+}
+
+std::pair<uint16_t, uint16_t> Simon32::encrypt(
+    uint16_t x, uint16_t y, const std::vector<uint16_t>& key) const {
+    const std::vector<uint16_t> rk = round_keys(key);
+    for (unsigned i = 0; i < rounds_; ++i) {
+        const uint16_t nx = static_cast<uint16_t>(y ^ f16(x) ^ rk[i]);
+        y = x;
+        x = nx;
+    }
+    return {x, y};
+}
+
+Simon32::Instance Simon32::encode(unsigned num_plaintexts, Rng& rng) const {
+    Instance inst;
+    // Key variables 0..63: word w bit b -> w*16 + b.
+    inst.key.resize(kKeyWords);
+    for (auto& w : inst.key) w = static_cast<uint16_t>(rng.next() & 0xFFFF);
+    inst.num_vars = kKeyWords * kWordBits;
+    for (uint16_t w : inst.key)
+        for (unsigned b = 0; b < kWordBits; ++b)
+            inst.witness.push_back((w >> b) & 1);
+
+    // Symbolic round keys: linear polynomials over the key variables
+    // (the Simon key schedule is GF(2)-linear).
+    std::vector<PolyWord> rk_sym;
+    {
+        std::vector<PolyWord> k;
+        for (unsigned w = 0; w < kKeyWords; ++w)
+            k.push_back(var_word(static_cast<Var>(w * kWordBits)));
+        constexpr uint16_t c = 0xFFFC;
+        for (unsigned i = 0; i + kKeyWords < rounds_; ++i) {
+            auto rotr_word = [](const PolyWord& a, unsigned s) {
+                PolyWord out;
+                for (unsigned j = 0; j < 16; ++j) out[j] = a[(j + s) % 16];
+                return out;
+            };
+            PolyWord tmp = xor_words(rotr_word(k[i + 3], 3), k[i + 1]);
+            tmp = xor_words(tmp, rotr_word(tmp, 1));
+            const uint16_t zc =
+                static_cast<uint16_t>(c ^ ((kZ0[i % 62] == '1') ? 1 : 0));
+            PolyWord next = xor_words(xor_words(k[i], tmp), const_word(zc));
+            k.push_back(std::move(next));
+        }
+        k.resize(std::max<unsigned>(rounds_, kKeyWords));
+        rk_sym.assign(k.begin(), k.begin() + rounds_);
+    }
+
+    // Concrete round keys for the witness trace.
+    const std::vector<uint16_t> rk = round_keys(inst.key);
+
+    const uint16_t p1_left = static_cast<uint16_t>(rng.next() & 0xFFFF);
+    const uint16_t p1_right = static_cast<uint16_t>(rng.next() & 0xFFFF);
+
+    for (unsigned p = 0; p < num_plaintexts; ++p) {
+        // SP/RC: similar plaintexts -- toggle bit (p-1) of the right half.
+        const uint16_t left = p1_left;
+        const uint16_t right =
+            p == 0 ? p1_right
+                   : static_cast<uint16_t>(p1_right ^ (1u << ((p - 1) % 16)));
+
+        // Concrete state sequence x_0..x_{rounds+1}.
+        std::vector<uint16_t> xs(rounds_ + 2);
+        xs[0] = right;
+        xs[1] = left;
+        for (unsigned i = 0; i < rounds_; ++i)
+            xs[i + 2] = static_cast<uint16_t>(xs[i] ^ f16(xs[i + 1]) ^ rk[i]);
+
+        // Symbolic state: x_0, x_1 and the final two words are constants;
+        // intermediates get fresh variables (witnessed by the simulation).
+        std::vector<PolyWord> sym(rounds_ + 2);
+        sym[0] = const_word(xs[0]);
+        sym[1] = const_word(xs[1]);
+        for (unsigned i = 2; i <= rounds_ + 1; ++i) {
+            if (i >= rounds_) {
+                sym[i] = const_word(xs[i]);  // ciphertext words
+            } else {
+                sym[i] = var_word(static_cast<Var>(inst.num_vars));
+                inst.num_vars += kWordBits;
+                for (unsigned b = 0; b < kWordBits; ++b)
+                    inst.witness.push_back((xs[i] >> b) & 1);
+            }
+        }
+
+        // Round equations: x_{i+2} + x_i + f(x_{i+1}) + k_i = 0.
+        for (unsigned i = 0; i < rounds_; ++i) {
+            const PolyWord fx = f_word(sym[i + 1]);
+            for (unsigned b = 0; b < kWordBits; ++b) {
+                Polynomial eq =
+                    sym[i + 2][b] + sym[i][b] + fx[b] + rk_sym[i][b];
+                if (!eq.is_zero()) inst.polys.push_back(std::move(eq));
+            }
+        }
+    }
+    return inst;
+}
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,59 @@
+// Simon32/64 (Beaulieu et al., DAC 2015) -- reference cipher and ANF
+// encoder for the paper's Simon-[n,r] benchmark classes (round-reduced
+// Simon32/64 with n plaintext/ciphertext pairs under one secret key, in the
+// Similar Plaintexts / Random Ciphertexts setting of Courtois et al.).
+//
+// The round function x_{i+2} = x_i ^ (S^1 x_{i+1} & S^8 x_{i+1}) ^ S^2
+// x_{i+1} ^ k_i is one AND per bit, so the ANF encoding is quadratic. The
+// Simon key schedule is linear over GF(2), so round keys are expressed
+// directly as linear polynomials in the 64 master-key variables -- no
+// auxiliary key variables are needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "util/rng.h"
+
+namespace bosphorus::crypto {
+
+class Simon32 {
+public:
+    static constexpr unsigned kWordBits = 16;
+    static constexpr unsigned kKeyWords = 4;
+    static constexpr unsigned kFullRounds = 32;
+
+    explicit Simon32(unsigned rounds) : rounds_(rounds) {}
+
+    unsigned rounds() const { return rounds_; }
+
+    /// Encrypt a 32-bit block (x = left word, y = right word) under a
+    /// 64-bit key given as 4 16-bit words, key[0] used first.
+    std::pair<uint16_t, uint16_t> encrypt(uint16_t x, uint16_t y,
+                                          const std::vector<uint16_t>& key) const;
+
+    /// Round keys k_0..k_{rounds-1} from the key schedule.
+    std::vector<uint16_t> round_keys(const std::vector<uint16_t>& key) const;
+
+    struct Instance {
+        std::vector<anf::Polynomial> polys;
+        size_t num_vars = 0;
+        std::vector<bool> witness;
+        std::vector<uint16_t> key;  // the secret (first 64 vars)
+    };
+
+    /// Key-recovery instance from n plaintexts in the SP/RC setting:
+    /// P_1 uniform; P_i (i >= 2) is P_1 with bit (i-2) of the right half
+    /// toggled. All pairs share the same key variables.
+    Instance encode(unsigned num_plaintexts, Rng& rng) const;
+
+private:
+    static uint16_t rotl(uint16_t v, unsigned k) {
+        return static_cast<uint16_t>((v << k) | (v >> (kWordBits - k)));
+    }
+
+    unsigned rounds_;
+};
+
+}  // namespace bosphorus::crypto

@@ -1,0 +1,131 @@
+#include "minimize/quine_mccluskey.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+namespace bosphorus::minimize {
+
+std::vector<Implicant> prime_implicants(const std::vector<bool>& on_set,
+                                        unsigned k) {
+    const uint32_t full_mask = (k >= 32) ? 0xFFFFFFFFu : ((1u << k) - 1);
+
+    // Level 0: one full cube per minterm.
+    std::set<Implicant> current;
+    for (uint32_t m = 0; m < on_set.size(); ++m) {
+        if (on_set[m]) current.insert(Implicant{full_mask, m});
+    }
+
+    std::vector<Implicant> primes;
+    while (!current.empty()) {
+        std::set<Implicant> next;
+        std::set<Implicant> merged;
+        // Two cubes combine iff they share a mask and differ in exactly one
+        // cared bit; the combined cube drops that bit.
+        std::vector<Implicant> cur(current.begin(), current.end());
+        for (size_t i = 0; i < cur.size(); ++i) {
+            for (size_t j = i + 1; j < cur.size(); ++j) {
+                if (cur[i].mask != cur[j].mask) continue;
+                const uint32_t diff = cur[i].value ^ cur[j].value;
+                if (std::popcount(diff) != 1) continue;
+                next.insert(Implicant{cur[i].mask & ~diff,
+                                      cur[i].value & ~diff});
+                merged.insert(cur[i]);
+                merged.insert(cur[j]);
+            }
+        }
+        for (const auto& c : cur) {
+            if (!merged.count(c)) primes.push_back(c);
+        }
+        current = std::move(next);
+    }
+    std::sort(primes.begin(), primes.end());
+    return primes;
+}
+
+std::vector<Implicant> minimize_sop(const std::vector<bool>& on_set,
+                                    unsigned k) {
+    std::vector<uint32_t> minterms;
+    for (uint32_t m = 0; m < on_set.size(); ++m)
+        if (on_set[m]) minterms.push_back(m);
+    if (minterms.empty()) return {};
+
+    std::vector<Implicant> primes = prime_implicants(on_set, k);
+
+    // Coverage table: which primes cover which minterms.
+    std::vector<std::vector<size_t>> covering(minterms.size());
+    for (size_t p = 0; p < primes.size(); ++p) {
+        for (size_t m = 0; m < minterms.size(); ++m) {
+            if (primes[p].covers(minterms[m])) covering[m].push_back(p);
+        }
+    }
+
+    std::vector<bool> covered(minterms.size(), false);
+    std::vector<bool> chosen(primes.size(), false);
+    std::vector<Implicant> cover;
+
+    // Essential primes: sole cover of some minterm.
+    for (size_t m = 0; m < minterms.size(); ++m) {
+        if (covering[m].size() == 1 && !chosen[covering[m][0]]) {
+            const size_t p = covering[m][0];
+            chosen[p] = true;
+            cover.push_back(primes[p]);
+        }
+    }
+    for (size_t m = 0; m < minterms.size(); ++m) {
+        for (size_t p : covering[m]) {
+            if (chosen[p]) { covered[m] = true; break; }
+        }
+    }
+
+    // Greedy completion: repeatedly take the prime covering the most
+    // still-uncovered minterms (ties broken toward larger cubes, i.e.
+    // smaller mask popcount => shorter clause).
+    for (;;) {
+        size_t best = primes.size();
+        size_t best_gain = 0;
+        int best_width = 33;
+        for (size_t p = 0; p < primes.size(); ++p) {
+            if (chosen[p]) continue;
+            size_t gain = 0;
+            for (size_t m = 0; m < minterms.size(); ++m) {
+                if (!covered[m] && primes[p].covers(minterms[m])) ++gain;
+            }
+            const int width = std::popcount(primes[p].mask);
+            if (gain > best_gain ||
+                (gain == best_gain && gain > 0 && width < best_width)) {
+                best = p;
+                best_gain = gain;
+                best_width = width;
+            }
+        }
+        if (best == primes.size() || best_gain == 0) break;
+        chosen[best] = true;
+        cover.push_back(primes[best]);
+        for (size_t m = 0; m < minterms.size(); ++m) {
+            if (primes[best].covers(minterms[m])) covered[m] = true;
+        }
+    }
+    std::sort(cover.begin(), cover.end());
+    return cover;
+}
+
+std::vector<LocalClause> cover_to_clauses(const std::vector<Implicant>& cover,
+                                          unsigned k) {
+    std::vector<LocalClause> clauses;
+    clauses.reserve(cover.size());
+    for (const auto& imp : cover) {
+        LocalClause cl;
+        for (unsigned v = 0; v < k; ++v) {
+            if (!(imp.mask & (1u << v))) continue;
+            const bool var_is_one_in_cube = (imp.value >> v) & 1;
+            // Forbidding the cube: if the cube requires v = 1, the clause
+            // contains the negated literal !v, and vice versa.
+            cl.literals.emplace_back(v, var_is_one_in_cube);
+        }
+        clauses.push_back(std::move(cl));
+    }
+    return clauses;
+}
+
+}  // namespace bosphorus::minimize

@@ -1,0 +1,54 @@
+// Two-level logic minimisation (the "Karnaugh map" path of Bosphorus).
+//
+// This module substitutes for ESPRESSO. Bosphorus converts a K-variate
+// polynomial to CNF by covering the polynomial's ON-set (assignments
+// violating the equation p = 0) with prime implicants; each implicant cube
+// becomes one CNF clause via De Morgan. ESPRESSO is a heuristic cover; here
+// we compute exact prime implicants (Quine-McCluskey) and cover with
+// essential primes plus a greedy completion, which at the K <= 8 sizes
+// Bosphorus uses is at or very near the optimum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bosphorus::minimize {
+
+/// A cube over k Boolean variables: variable i is cared about iff bit i of
+/// `mask` is set, and then must equal bit i of `value`. Bits of `value`
+/// outside `mask` are zero.
+struct Implicant {
+    uint32_t mask = 0;
+    uint32_t value = 0;
+
+    bool covers(uint32_t minterm) const { return (minterm & mask) == value; }
+    bool operator==(const Implicant& o) const {
+        return mask == o.mask && value == o.value;
+    }
+    bool operator<(const Implicant& o) const {
+        return mask != o.mask ? mask < o.mask : value < o.value;
+    }
+};
+
+/// All prime implicants of the function whose ON-set is `on_set`
+/// (on_set.size() == 2^k, k <= 20 but intended for k <= 10).
+std::vector<Implicant> prime_implicants(const std::vector<bool>& on_set,
+                                        unsigned k);
+
+/// Minimal (essential + greedy) cover of the ON-set by prime implicants.
+std::vector<Implicant> minimize_sop(const std::vector<bool>& on_set,
+                                    unsigned k);
+
+/// Each selected implicant of the ON-set of p, negated, yields one CNF
+/// clause over the k local variables. Literals returned as (var, negated)
+/// where `negated` refers to the literal in the *clause*. Example: cube
+/// {x0=1, x2=0} forbidden -> clause (!x0 | x2) -> {(0,true),(2,false)}.
+struct LocalClause {
+    std::vector<std::pair<unsigned, bool>> literals;  // (var index, negated?)
+};
+
+std::vector<LocalClause> cover_to_clauses(const std::vector<Implicant>& cover,
+                                          unsigned k);
+
+}  // namespace bosphorus::minimize

@@ -1,0 +1,26 @@
+// DIMACS CNF reader/writer, with CryptoMiniSat-style "x" lines for native
+// XOR constraints (e.g. "x1 2 -3 0" meaning x1 ^ x2 ^ x3 = 0 is written as
+// an XOR clause x1 ^ x2 ^ ~x3 = 1).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "sat/types.h"
+
+namespace bosphorus::sat {
+
+struct DimacsError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// Parse a DIMACS CNF. Lines beginning with 'x' are XOR clauses: the listed
+/// literals XOR to true (CryptoMiniSat convention).
+Cnf read_dimacs(std::istream& in);
+Cnf read_dimacs_from_string(const std::string& text);
+
+void write_dimacs(std::ostream& out, const Cnf& cnf);
+
+}  // namespace bosphorus::sat

@@ -1,0 +1,278 @@
+#include "sat/preprocess.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bosphorus::sat {
+
+namespace {
+
+/// 64-bit clause signature for fast subsumption pre-filtering: bit
+/// (var mod 64) set for every variable in the clause. C subsumes D only if
+/// sig(C) & ~sig(D) == 0.
+uint64_t signature(const std::vector<Lit>& clause) {
+    uint64_t sig = 0;
+    for (Lit l : clause) sig |= 1ULL << (l.var() % 64);
+    return sig;
+}
+
+/// True iff `small` is a sub-multiset of `big` (both sorted).
+bool subsumes(const std::vector<Lit>& small, const std::vector<Lit>& big) {
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+/// If resolving `a` and `b` on pivot literal (present positively in a,
+/// negated in b) yields a non-tautological resolvent, write it to `out` and
+/// return true.
+bool resolve(const std::vector<Lit>& a, const std::vector<Lit>& b, Var pivot,
+             std::vector<Lit>& out) {
+    out.clear();
+    for (Lit l : a)
+        if (l.var() != pivot) out.push_back(l);
+    for (Lit l : b)
+        if (l.var() != pivot) out.push_back(l);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    for (size_t i = 0; i + 1 < out.size(); ++i) {
+        if (out[i].var() == out[i + 1].var()) return false;  // tautology
+    }
+    return true;
+}
+
+}  // namespace
+
+bool Preprocessor::simplify(Cnf& cnf) {
+    // Working copy with alive flags and occurrence lists.
+    std::vector<std::vector<Lit>> cls = cnf.clauses;
+    std::vector<bool> alive(cls.size(), true);
+    for (auto& c : cls) {
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+    }
+
+    // Frozen variables: those in XOR constraints must survive elimination.
+    std::vector<bool> frozen(cnf.num_vars, false);
+    for (const auto& x : cnf.xors)
+        for (Var v : x.vars) frozen[v] = true;
+
+    // Fixed values derived by unit propagation at this level.
+    std::vector<LBool> fixed(cnf.num_vars, LBool::kUndef);
+
+    auto occ_build = [&](std::vector<std::vector<uint32_t>>& occ) {
+        occ.assign(2 * cnf.num_vars, {});
+        for (uint32_t i = 0; i < cls.size(); ++i) {
+            if (!alive[i]) continue;
+            for (Lit l : cls[i]) occ[l.raw()].push_back(i);
+        }
+    };
+
+    // --- top-level unit propagation --------------------------------------
+    auto propagate_units = [&]() -> bool {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (uint32_t i = 0; i < cls.size(); ++i) {
+                if (!alive[i]) continue;
+                std::vector<Lit>& c = cls[i];
+                size_t out = 0;
+                bool satisfied = false;
+                for (Lit l : c) {
+                    const LBool fv = fixed[l.var()];
+                    if (fv == LBool::kUndef) {
+                        c[out++] = l;
+                    } else if ((fv == LBool::kTrue) != l.sign()) {
+                        satisfied = true;
+                        break;
+                    }  // else: literal false, drop it
+                }
+                if (satisfied) {
+                    alive[i] = false;
+                    changed = true;
+                    continue;
+                }
+                if (out != c.size()) {
+                    c.resize(out);
+                    changed = true;
+                }
+                if (c.empty()) return false;
+                if (c.size() == 1) {
+                    const Lit u = c[0];
+                    const LBool want = lbool_from(!u.sign());
+                    if (fixed[u.var()] == LBool::kUndef) {
+                        fixed[u.var()] = want;
+                        changed = true;
+                    } else if (fixed[u.var()] != want) {
+                        return false;
+                    }
+                }
+            }
+        }
+        return true;
+    };
+
+    for (int pass = 0; pass < cfg_.max_passes; ++pass) {
+        bool any_change = false;
+        if (!propagate_units()) return false;
+
+        std::vector<std::vector<uint32_t>> occ;
+        occ_build(occ);
+        std::vector<uint64_t> sigs(cls.size(), 0);
+        for (uint32_t i = 0; i < cls.size(); ++i)
+            if (alive[i]) sigs[i] = signature(cls[i]);
+
+        // --- forward subsumption + self-subsuming resolution -------------
+        for (uint32_t i = 0; i < cls.size(); ++i) {
+            if (!alive[i] || cls[i].empty()) continue;
+            // Search candidates through the least-occurring literal.
+            Lit best = cls[i][0];
+            for (Lit l : cls[i])
+                if (occ[l.raw()].size() < occ[best.raw()].size()) best = l;
+            for (uint32_t j : occ[best.raw()]) {
+                if (j == i || !alive[j] || !alive[i]) continue;
+                if (sigs[i] & ~sigs[j]) continue;
+                if (cls[i].size() > cls[j].size()) continue;
+                if (subsumes(cls[i], cls[j])) {
+                    alive[j] = false;
+                    ++subsumed_;
+                    any_change = true;
+                }
+            }
+            // Self-subsumption: C = A + l, D ⊇ A + ~l  =>  remove ~l from D.
+            for (Lit l : cls[i]) {
+                std::vector<Lit> with_neg = cls[i];
+                std::replace(with_neg.begin(), with_neg.end(), l, ~l);
+                std::sort(with_neg.begin(), with_neg.end());
+                for (uint32_t j : occ[(~l).raw()]) {
+                    if (j == i || !alive[j]) continue;
+                    if (cls[j].size() < cls[i].size()) continue;
+                    if (subsumes(with_neg, cls[j])) {
+                        auto& d = cls[j];
+                        d.erase(std::find(d.begin(), d.end(), ~l));
+                        sigs[j] = signature(d);
+                        ++strengthened_;
+                        any_change = true;
+                        if (d.size() <= 1) break;  // handled by unit pass
+                    }
+                }
+            }
+        }
+
+        if (!propagate_units()) return false;
+        occ_build(occ);
+
+        // --- bounded variable elimination ---------------------------------
+        for (Var v = 0; v < cnf.num_vars; ++v) {
+            if (frozen[v] || fixed[v] != LBool::kUndef) continue;
+            auto& pos = occ[mk_lit(v, false).raw()];
+            auto& neg = occ[mk_lit(v, true).raw()];
+            // Refresh alive-ness.
+            auto live_count = [&](std::vector<uint32_t>& lst) {
+                size_t n = 0;
+                for (uint32_t idx : lst)
+                    if (alive[idx]) ++n;
+                return n;
+            };
+            const size_t np = live_count(pos), nn = live_count(neg);
+            if (np + nn == 0 || np + nn > cfg_.max_occurrences) continue;
+
+            // Count resolvents.
+            std::vector<std::vector<Lit>> resolvents;
+            bool blocked = false;
+            std::vector<Lit> tmp;
+            for (uint32_t ip : pos) {
+                if (!alive[ip]) continue;
+                for (uint32_t in : neg) {
+                    if (!alive[in]) continue;
+                    if (resolve(cls[ip], cls[in], v, tmp)) {
+                        if (tmp.empty()) return false;  // empty resolvent
+                        if (tmp.size() > cfg_.max_resolvent_len) {
+                            blocked = true;
+                            break;
+                        }
+                        resolvents.push_back(tmp);
+                        if (resolvents.size() >
+                            np + nn + static_cast<size_t>(cfg_.grow)) {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                }
+                if (blocked) break;
+            }
+            if (blocked) continue;
+
+            // Eliminate: record original clauses, swap in resolvents.
+            ElimEntry entry;
+            entry.v = v;
+            for (uint32_t idx : pos) {
+                if (!alive[idx]) continue;
+                entry.clauses.push_back(cls[idx]);
+                alive[idx] = false;
+            }
+            for (uint32_t idx : neg) {
+                if (!alive[idx]) continue;
+                entry.clauses.push_back(cls[idx]);
+                alive[idx] = false;
+            }
+            elim_stack_.push_back(std::move(entry));
+            for (auto& r : resolvents) {
+                const uint32_t idx = static_cast<uint32_t>(cls.size());
+                for (Lit l : r) occ[l.raw()].push_back(idx);
+                sigs.push_back(signature(r));
+                cls.push_back(std::move(r));
+                alive.push_back(true);
+            }
+            any_change = true;
+        }
+
+        if (!propagate_units()) return false;
+        if (!any_change) break;
+    }
+
+    // Emit the simplified formula: fixed values become unit clauses.
+    std::vector<std::vector<Lit>> out;
+    for (uint32_t i = 0; i < cls.size(); ++i) {
+        if (alive[i] && !cls[i].empty()) out.push_back(cls[i]);
+    }
+    for (Var v = 0; v < cnf.num_vars; ++v) {
+        if (fixed[v] != LBool::kUndef)
+            out.push_back({mk_lit(v, fixed[v] == LBool::kFalse)});
+    }
+    cnf.clauses = std::move(out);
+    return true;
+}
+
+void Preprocessor::extend_model(std::vector<LBool>& model) const {
+    auto lit_true = [&](Lit l) {
+        const LBool v = l.var() < model.size() ? model[l.var()] : LBool::kUndef;
+        if (v == LBool::kUndef) return false;  // treat undef as false
+        return (v == LBool::kTrue) != l.sign();
+    };
+    for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+        // Default the variable to false; flip to true iff some clause with
+        // the positive literal is otherwise unsatisfied. (At most one
+        // polarity can be forced: otherwise a resolvent, which the model
+        // satisfies, would be falsified.)
+        bool value = false;
+        for (const auto& clause : it->clauses) {
+            bool has_pos = false;
+            bool satisfied_by_others = false;
+            for (Lit l : clause) {
+                if (l.var() == it->v) {
+                    if (!l.sign()) has_pos = true;
+                } else if (lit_true(l)) {
+                    satisfied_by_others = true;
+                    break;
+                }
+            }
+            if (has_pos && !satisfied_by_others) {
+                value = true;
+                break;
+            }
+        }
+        if (it->v >= model.size()) model.resize(it->v + 1, LBool::kUndef);
+        model[it->v] = lbool_from(value);
+    }
+}
+
+}  // namespace bosphorus::sat

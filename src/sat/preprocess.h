@@ -1,0 +1,60 @@
+// CNF preprocessing: subsumption, self-subsuming resolution and bounded
+// variable elimination (BVE), in the style of SatELite / the inprocessing
+// built into Lingeling. This provides the "high-performance, heavily
+// preprocessing" solver configuration of the paper's Table II.
+//
+// Variable elimination changes the model, so the preprocessor records the
+// clauses it deleted and can extend a model of the simplified formula back
+// to a model of the original (extend_model).
+#pragma once
+
+#include <vector>
+
+#include "sat/types.h"
+
+namespace bosphorus::sat {
+
+class Preprocessor {
+public:
+    struct Config {
+        /// A variable is only eliminated if the number of non-tautological
+        /// resolvents does not exceed #occurrences + grow.
+        int grow = 0;
+        /// Variables occurring more often than this are never eliminated.
+        size_t max_occurrences = 40;
+        /// Resolvents longer than this block elimination.
+        size_t max_resolvent_len = 24;
+        /// Maximum sweeps of (subsume, eliminate).
+        int max_passes = 3;
+    };
+
+    Preprocessor() : Preprocessor(Config{}) {}
+    explicit Preprocessor(Config cfg) : cfg_(cfg) {}
+
+    /// Simplify in place. Returns false if the formula was proved UNSAT.
+    /// Native XOR constraints, if any, are left untouched (their variables
+    /// are frozen, i.e. excluded from elimination).
+    bool simplify(Cnf& cnf);
+
+    /// Extend a model of the simplified formula to the original variables.
+    /// `model` must be indexed by variable and already contain values for
+    /// all non-eliminated variables.
+    void extend_model(std::vector<LBool>& model) const;
+
+    size_t eliminated_vars() const { return elim_stack_.size(); }
+    size_t subsumed_clauses() const { return subsumed_; }
+    size_t strengthened_clauses() const { return strengthened_; }
+
+private:
+    struct ElimEntry {
+        Var v;
+        std::vector<std::vector<Lit>> clauses;  // all clauses mentioning v
+    };
+
+    Config cfg_;
+    std::vector<ElimEntry> elim_stack_;
+    size_t subsumed_ = 0;
+    size_t strengthened_ = 0;
+};
+
+}  // namespace bosphorus::sat

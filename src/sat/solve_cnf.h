@@ -1,0 +1,45 @@
+// One-call solving front-end with the three back-end configurations used in
+// the paper's Table II:
+//
+//   kMinisatLike   : plain CDCL (stands in for MiniSat 2.2)
+//   kLingelingLike : CDCL + SatELite-style preprocessing (Lingeling)
+//   kCmsLike       : CDCL + XOR recovery + Gauss-Jordan (CryptoMiniSat5)
+//
+// The facade also recovers native XOR constraints from plain CNF for the
+// CMS-like configuration, mirroring CryptoMiniSat's xor-detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace bosphorus::sat {
+
+enum class SolverKind { kMinisatLike, kLingelingLike, kCmsLike };
+
+const char* solver_kind_name(SolverKind kind);
+
+struct SolveOutcome {
+    Result result = Result::kUnknown;
+    std::vector<LBool> model;  // valid iff result == kSat
+    Solver::Stats stats;
+    double seconds = 0.0;
+};
+
+/// Solve `cnf` with the given configuration, wall-clock timeout (seconds,
+/// < 0 for none) and conflict budget (< 0 for unbounded).
+SolveOutcome solve_cnf(const Cnf& cnf, SolverKind kind, double timeout_s = -1,
+                       int64_t conflict_budget = -1);
+
+/// Detect XOR constraints encoded as full 2^(l-1)-clause groups over the
+/// same variable set (sizes 2..max_len). Clauses are left in place; the
+/// recovered XORs are returned.
+std::vector<XorConstraint> recover_xors(const Cnf& cnf, size_t max_len = 4);
+
+/// True iff `model` satisfies every clause and XOR of `cnf`.
+bool model_satisfies(const Cnf& cnf, const std::vector<LBool>& model);
+
+}  // namespace bosphorus::sat

@@ -1,0 +1,618 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sat/xor_engine.h"
+
+namespace bosphorus::sat {
+
+Solver::Solver(Config cfg) : cfg_(cfg) {
+    if (cfg_.enable_xor) xor_engine_ = std::make_unique<XorEngine>(*this);
+}
+
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::kUndef);
+    polarity_.push_back(true);  // default phase: assign false first
+    var_level_.push_back(0);
+    var_reason_.push_back(kNoReason);
+    activity_.push_back(0.0);
+    heap_pos_.push_back(-1);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    insert_var_order(v);
+    if (xor_engine_) xor_engine_->ensure_num_vars(assigns_.size());
+    return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+    if (!ok_) return false;
+    assert(decision_level() == 0);
+
+    // Canonicalise: sort, dedupe, drop false literals, detect tautology and
+    // satisfied clauses.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = lit_undef();
+    for (Lit l : lits) {
+        assert(l.var() < num_vars());
+        if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/tautology
+        if (value(l) == LBool::kFalse || l == prev) continue;     // falsified/duplicate
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        return ok_ = (propagate() == kNoReason);
+    }
+    const CRef cr = alloc_clause(std::move(out), /*learnt=*/false);
+    problem_clauses_.push_back(cr);
+    attach_clause(cr);
+    return true;
+}
+
+bool Solver::add_xor(const XorConstraint& x) {
+    if (!ok_) return false;
+    // Normalise: XOR semantics are insensitive to order; duplicate vars
+    // cancel in pairs.
+    std::vector<Var> vars = x.vars;
+    std::sort(vars.begin(), vars.end());
+    std::vector<Var> kept;
+    for (size_t i = 0; i < vars.size();) {
+        size_t j = i;
+        while (j < vars.size() && vars[j] == vars[i]) ++j;
+        if ((j - i) % 2 == 1) kept.push_back(vars[i]);
+        i = j;
+    }
+    bool rhs = x.rhs;
+
+    if (kept.empty()) {
+        if (rhs) ok_ = false;
+        return ok_;
+    }
+    if (kept.size() == 1) {
+        enqueue_or_check(kept[0], rhs);
+        return ok_;
+    }
+
+    if (xor_engine_) {
+        XorConstraint norm{std::move(kept), rhs};
+        xor_engine_->add_xor(std::move(norm));
+        return true;
+    }
+
+    // No native XOR support: expand into CNF, cutting long constraints with
+    // fresh auxiliary variables to bound the 2^(l-1) clause blow-up.
+    constexpr size_t kCut = 5;
+    std::vector<Var> work = std::move(kept);
+    while (work.size() > kCut) {
+        // a ^ b ^ rest = rhs  ->  t = a ^ b;  t ^ rest = rhs
+        const Var a = work[0], b = work[1];
+        const Var t = new_var();
+        // t ^ a ^ b = 0 as CNF (parity-odd assignments forbidden):
+        add_clause({mk_lit(t, true), mk_lit(a, false), mk_lit(b, false)});
+        add_clause({mk_lit(t, true), mk_lit(a, true), mk_lit(b, true)});
+        add_clause({mk_lit(t, false), mk_lit(a, false), mk_lit(b, true)});
+        add_clause({mk_lit(t, false), mk_lit(a, true), mk_lit(b, false)});
+        work.erase(work.begin(), work.begin() + 2);
+        work.insert(work.begin(), t);
+        if (!ok_) return false;
+    }
+    // Enumerate all assignments of the short XOR with the wrong parity.
+    const size_t l = work.size();
+    for (uint32_t bits = 0; bits < (1u << l); ++bits) {
+        bool parity = false;
+        for (size_t i = 0; i < l; ++i) parity ^= (bits >> i) & 1;
+        if (parity == rhs) continue;  // satisfying assignment, allowed
+        std::vector<Lit> clause;
+        clause.reserve(l);
+        for (size_t i = 0; i < l; ++i) {
+            const bool bit_is_one = (bits >> i) & 1;
+            // Forbid this assignment: literal opposite of the bit.
+            clause.push_back(mk_lit(work[i], bit_is_one));
+        }
+        if (!add_clause(std::move(clause))) return false;
+    }
+    return ok_;
+}
+
+void Solver::enqueue_or_check(Var v, bool val) {
+    const Lit l = mk_lit(v, !val);
+    if (value(l) == LBool::kFalse) {
+        ok_ = false;
+    } else if (value(l) == LBool::kUndef) {
+        enqueue(l, kNoReason);
+        if (propagate() != kNoReason) ok_ = false;
+    }
+}
+
+bool Solver::load(const Cnf& cnf) {
+    while (num_vars() < cnf.num_vars) new_var();
+    for (const auto& cl : cnf.clauses) {
+        if (!add_clause(cl)) return false;
+    }
+    for (const auto& x : cnf.xors) {
+        if (!add_xor(x)) return false;
+    }
+    return ok_;
+}
+
+// ---------------------------------------------------------------- clauses
+
+Solver::CRef Solver::alloc_clause(std::vector<Lit> lits, bool learnt) {
+    const CRef cr = static_cast<CRef>(clauses_.size());
+    Clause c;
+    c.lits = std::move(lits);
+    c.learnt = learnt;
+    clauses_.push_back(std::move(c));
+    return cr;
+}
+
+void Solver::attach_clause(CRef cr) {
+    const auto& lits = clauses_[cr].lits;
+    assert(lits.size() >= 2);
+    watches_[(~lits[0]).raw()].push_back({cr, lits[1]});
+    watches_[(~lits[1]).raw()].push_back({cr, lits[0]});
+}
+
+void Solver::detach_clause(CRef cr) {
+    const auto& lits = clauses_[cr].lits;
+    for (int i = 0; i < 2; ++i) {
+        auto& ws = watches_[(~lits[i]).raw()];
+        for (size_t j = 0; j < ws.size(); ++j) {
+            if (ws[j].cref == cr) {
+                ws[j] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+void Solver::remove_clause(CRef cr) {
+    detach_clause(cr);
+    clauses_[cr].deleted = true;
+    clauses_[cr].lits.clear();
+    clauses_[cr].lits.shrink_to_fit();
+    ++stats_.deleted_clauses;
+}
+
+// ------------------------------------------------------------ propagation
+
+void Solver::enqueue(Lit l, CRef reason) {
+    assert(value(l) == LBool::kUndef);
+    assigns_[l.var()] = lbool_from(!l.sign());
+    var_level_[l.var()] = decision_level();
+    var_reason_[l.var()] = reason;
+    trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate() {
+    CRef confl = kNoReason;
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        auto& ws = watches_[p.raw()];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            const Watcher w = ws[i];
+            if (value(w.blocker) == LBool::kTrue) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause& c = clauses_[w.cref];
+            auto& lits = c.lits;
+            // Ensure the false literal (~p) is at position 1.
+            const Lit false_lit = ~p;
+            if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+            assert(lits[1] == false_lit);
+            ++i;
+
+            const Lit first = lits[0];
+            if (first != w.blocker && value(first) == LBool::kTrue) {
+                ws[j++] = {w.cref, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < lits.size(); ++k) {
+                if (value(lits[k]) != LBool::kFalse) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[(~lits[1]).raw()].push_back({w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) continue;
+
+            // Clause is unit or conflicting.
+            ws[j++] = {w.cref, first};
+            if (value(first) == LBool::kFalse) {
+                confl = w.cref;
+                qhead_ = trail_.size();
+                while (i < ws.size()) ws[j++] = ws[i++];
+            } else {
+                enqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (confl != kNoReason) break;
+    }
+    return confl;
+}
+
+// ------------------------------------------------------- conflict analysis
+
+void Solver::analyze(CRef confl, std::vector<Lit>& out_learnt,
+                     int& out_btlevel, uint32_t& out_lbd) {
+    out_learnt.clear();
+    out_learnt.push_back(lit_undef());  // slot for the asserting literal
+
+    int path_count = 0;
+    Lit p = lit_undef();
+    size_t index = trail_.size();
+
+    do {
+        assert(confl != kNoReason);
+        Clause& c = clauses_[confl];
+        if (c.learnt) cla_bump(c);
+
+        const size_t start = (p == lit_undef()) ? 0 : 1;
+        for (size_t k = start; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            if (seen_[q.var()] || level(q.var()) == 0) continue;
+            seen_[q.var()] = 1;
+            var_bump(q.var());
+            if (level(q.var()) >= decision_level()) {
+                ++path_count;
+            } else {
+                out_learnt.push_back(q);
+            }
+        }
+        // Walk back to the next marked literal on the trail.
+        while (!seen_[trail_[index - 1].var()]) --index;
+        p = trail_[--index];
+        confl = var_reason_[p.var()];
+        seen_[p.var()] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Conflict-clause minimisation: drop literals implied by the rest.
+    analyze_clear_.assign(out_learnt.begin() + 1, out_learnt.end());
+    for (const Lit l : analyze_clear_) seen_[l.var()] = 1;
+    uint32_t abstract_levels = 0;
+    for (size_t i = 1; i < out_learnt.size(); ++i)
+        abstract_levels |= 1u << (level(out_learnt[i].var()) & 31);
+    size_t keep = 1;
+    for (size_t i = 1; i < out_learnt.size(); ++i) {
+        if (var_reason_[out_learnt[i].var()] == kNoReason ||
+            !lit_redundant(out_learnt[i], abstract_levels)) {
+            out_learnt[keep++] = out_learnt[i];
+        }
+    }
+    out_learnt.resize(keep);
+    for (const Lit l : analyze_clear_) seen_[l.var()] = 0;
+    seen_[out_learnt[0].var()] = 0;
+
+    // Compute backtrack level and LBD.
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learnt.size(); ++i) {
+            if (level(out_learnt[i].var()) > level(out_learnt[max_i].var()))
+                max_i = i;
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level(out_learnt[1].var());
+    }
+    // LBD: number of distinct decision levels among the literals.
+    uint32_t lbd = 0;
+    for (const Lit l : out_learnt) {
+        const int lv = level(l.var());
+        bool fresh = true;
+        for (const Lit m : out_learnt) {
+            if (m == l) break;
+            if (level(m.var()) == lv) { fresh = false; break; }
+        }
+        if (fresh) ++lbd;
+    }
+    out_lbd = lbd;
+}
+
+bool Solver::lit_redundant(Lit l, uint32_t abstract_levels) {
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    const size_t top = analyze_clear_.size();
+    while (!analyze_stack_.empty()) {
+        const Lit q = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        assert(var_reason_[q.var()] != kNoReason);
+        const Clause& c = clauses_[var_reason_[q.var()]];
+        for (size_t i = 1; i < c.lits.size(); ++i) {
+            const Lit p = c.lits[i];
+            if (seen_[p.var()] || level(p.var()) == 0) continue;
+            if (var_reason_[p.var()] == kNoReason ||
+                !((1u << (level(p.var()) & 31)) & abstract_levels)) {
+                // Cannot be shown redundant: undo the marks made here.
+                for (size_t j = top; j < analyze_clear_.size(); ++j)
+                    seen_[analyze_clear_[j].var()] = 0;
+                analyze_clear_.resize(top);
+                return false;
+            }
+            seen_[p.var()] = 1;
+            analyze_stack_.push_back(p);
+            analyze_clear_.push_back(p);
+        }
+    }
+    return true;
+}
+
+void Solver::cancel_until(int target_level) {
+    if (decision_level() <= target_level) return;
+    const size_t new_size = trail_lim_[target_level];
+    for (size_t i = trail_.size(); i-- > new_size;) {
+        const Var v = trail_[i].var();
+        assigns_[v] = LBool::kUndef;
+        polarity_[v] = trail_[i].sign();
+        var_reason_[v] = kNoReason;
+        if (heap_pos_[v] < 0) insert_var_order(v);
+    }
+    trail_.resize(new_size);
+    trail_lim_.resize(target_level);
+    qhead_ = std::min(qhead_, trail_.size());
+    if (xor_engine_)
+        xor_engine_->set_qhead(std::min(xor_engine_->qhead(), trail_.size()));
+}
+
+// ----------------------------------------------------------------- VSIDS
+
+void Solver::var_bump(Var v) {
+    activity_[v] += var_inc_;
+    if (activity_[v] > 1e100) {
+        for (auto& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_pos_[v] >= 0) heap_up(static_cast<size_t>(heap_pos_[v]));
+}
+
+void Solver::var_decay_all() { var_inc_ /= cfg_.var_decay; }
+
+void Solver::cla_bump(Clause& c) {
+    c.activity += static_cast<float>(cla_inc_);
+    if (c.activity > 1e20f) {
+        for (CRef cr : learnts_) clauses_[cr].activity *= 1e-20f;
+        cla_inc_ *= 1e-20;
+    }
+}
+
+bool Solver::heap_lt(Var a, Var b) const {
+    if (activity_[a] != activity_[b]) return activity_[a] > activity_[b];
+    return a < b;  // deterministic tie-break
+}
+
+void Solver::insert_var_order(Var v) {
+    if (heap_pos_[v] >= 0) return;
+    heap_pos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heap_up(heap_.size() - 1);
+}
+
+void Solver::heap_up(size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!heap_lt(v, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<int>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<int>(i);
+}
+
+void Solver::heap_down(size_t i) {
+    const Var v = heap_[i];
+    for (;;) {
+        const size_t left = 2 * i + 1;
+        if (left >= heap_.size()) break;
+        size_t child = left;
+        if (left + 1 < heap_.size() && heap_lt(heap_[left + 1], heap_[left]))
+            child = left + 1;
+        if (!heap_lt(heap_[child], v)) break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<int>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<int>(i);
+}
+
+Lit Solver::pick_branch_lit() {
+    while (!heap_.empty()) {
+        const Var v = heap_[0];
+        heap_[0] = heap_.back();
+        heap_pos_[heap_[0]] = 0;
+        heap_.pop_back();
+        heap_pos_[v] = -1;
+        if (!heap_.empty()) heap_down(0);
+        if (assigns_[v] == LBool::kUndef) return mk_lit(v, polarity_[v]);
+    }
+    return lit_undef();
+}
+
+// ------------------------------------------------------------- learnt DB
+
+void Solver::reduce_db() {
+    // Order learnts: glue (LBD <= 2) are protected; otherwise prefer to
+    // delete high-LBD, low-activity clauses.
+    std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+        const Clause& ca = clauses_[a];
+        const Clause& cb = clauses_[b];
+        if ((ca.lbd <= 2) != (cb.lbd <= 2)) return cb.lbd <= 2;
+        if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+        return ca.activity < cb.activity;
+    });
+    const size_t limit = learnts_.size() / 2;
+    std::vector<CRef> kept;
+    kept.reserve(learnts_.size());
+    size_t removed = 0;
+    for (size_t i = 0; i < learnts_.size(); ++i) {
+        const CRef cr = learnts_[i];
+        Clause& c = clauses_[cr];
+        const bool locked = !c.lits.empty() &&
+                            var_reason_[c.lits[0].var()] == cr &&
+                            value(c.lits[0]) == LBool::kTrue;
+        if (removed < limit && c.lbd > 2 && c.lits.size() > 2 && !locked) {
+            remove_clause(cr);
+            ++removed;
+        } else {
+            kept.push_back(cr);
+        }
+    }
+    learnts_ = std::move(kept);
+}
+
+double Solver::luby(double y, int i) const {
+    // Finite subsequence length and position within it.
+    int size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return std::pow(y, seq);
+}
+
+void Solver::record_learnt_fact(const std::vector<Lit>& clause) {
+    if (clause.size() == 2) {
+        learnt_binaries_.push_back({clause[0], clause[1]});
+    }
+    // Unit learnt clauses reach the trail at level 0 and are exported via
+    // the units_reported_ cursor in solve().
+}
+
+// ------------------------------------------------------------------ solve
+
+Result Solver::solve(int64_t conflict_budget, double timeout_s) {
+    if (!ok_) return Result::kUnsat;
+    Timer timer;
+
+    if (xor_engine_ && !xor_engine_->gauss_jordan_level0()) {
+        ok_ = false;
+        return Result::kUnsat;
+    }
+
+    max_learnts_ = std::max<double>(
+        static_cast<double>(problem_clauses_.size()) / 3.0, 1000.0);
+
+    int64_t conflicts_this_call = 0;
+    int curr_restarts = 0;
+    int64_t restart_limit = static_cast<int64_t>(
+        luby(2.0, curr_restarts) * cfg_.restart_base);
+    int64_t conflicts_since_restart = 0;
+
+    std::vector<Lit> learnt_clause;
+    Result result = Result::kUnknown;
+
+    for (;;) {
+        // Propagation: clause propagation and XOR propagation to fixpoint.
+        CRef confl = propagate();
+        if (confl == kNoReason && xor_engine_) {
+            std::vector<Lit> xconfl;
+            if (!xor_engine_->propagate(xconfl)) {
+                // Materialise the conflicting XOR row as a clause.
+                confl = alloc_clause(std::move(xconfl), /*learnt=*/true);
+            } else if (qhead_ < trail_.size()) {
+                continue;  // XOR enqueued literals: run clause propagation
+            }
+        }
+
+        if (confl != kNoReason) {
+            ++stats_.conflicts;
+            ++conflicts_this_call;
+            ++conflicts_since_restart;
+            if (decision_level() == 0) {
+                ok_ = false;
+                result = Result::kUnsat;
+                break;
+            }
+            int bt_level;
+            uint32_t lbd;
+            analyze(confl, learnt_clause, bt_level, lbd);
+            cancel_until(bt_level);
+            record_learnt_fact(learnt_clause);
+            if (learnt_clause.size() == 1) {
+                enqueue(learnt_clause[0], kNoReason);
+            } else {
+                const CRef cr = alloc_clause(learnt_clause, /*learnt=*/true);
+                clauses_[cr].lbd = lbd;
+                learnts_.push_back(cr);
+                attach_clause(cr);
+                cla_bump(clauses_[cr]);
+                enqueue(learnt_clause[0], cr);
+            }
+            ++stats_.learnt_clauses;
+            var_decay_all();
+            cla_inc_ /= cfg_.clause_decay;
+
+            if (conflict_budget >= 0 && conflicts_this_call >= conflict_budget) {
+                result = Result::kUnknown;
+                break;
+            }
+            if (timeout_s > 0 && (stats_.conflicts & 1023) == 0 &&
+                timer.seconds() > timeout_s) {
+                result = Result::kUnknown;
+                break;
+            }
+        } else {
+            if (conflicts_since_restart >= restart_limit) {
+                ++stats_.restarts;
+                ++curr_restarts;
+                conflicts_since_restart = 0;
+                restart_limit = static_cast<int64_t>(
+                    luby(2.0, curr_restarts) * cfg_.restart_base);
+                cancel_until(0);
+                continue;
+            }
+            if (static_cast<double>(learnts_.size()) >= max_learnts_) {
+                reduce_db();
+                max_learnts_ *= cfg_.learnt_growth;
+            }
+            const Lit next = pick_branch_lit();
+            if (next == lit_undef()) {
+                // All variables assigned: a model.
+                model_.assign(assigns_.begin(), assigns_.end());
+                result = Result::kSat;
+                break;
+            }
+            ++stats_.decisions;
+            trail_lim_.push_back(static_cast<int>(trail_.size()));
+            enqueue(next, kNoReason);
+        }
+    }
+
+    cancel_until(0);
+    // Export new level-0 implied literals as learnt unit facts.
+    while (units_reported_ < trail_.size()) {
+        learnt_units_.push_back(trail_[units_reported_++]);
+    }
+    return result;
+}
+
+}  // namespace bosphorus::sat

@@ -1,0 +1,189 @@
+// CDCL SAT solver with optional native XOR reasoning.
+//
+// This is the in-tree substitute for the three back-end solvers evaluated in
+// the paper (MiniSat, Lingeling, CryptoMiniSat5). The core implements the
+// standard modern CDCL loop: two-watched-literal propagation, first-UIP
+// conflict analysis with recursive clause minimisation, EVSIDS branching,
+// phase saving, Luby restarts and activity/LBD-based learnt-clause deletion.
+//
+// Two features matter specifically for Bosphorus:
+//  * a *conflict budget* (the paper bounds the in-loop solver by conflicts,
+//    not time, for replicability), and
+//  * an API exposing learnt unit and binary clauses, which the Bosphorus
+//    loop converts into ANF value/equivalence facts (the modification the
+//    authors made to CryptoMiniSat 5.6.3).
+//
+// With Config::enable_xor set, native XOR constraints are propagated by a
+// watched-XOR scheme and a level-0 Gauss-Jordan elimination pass (see
+// xor_engine.h) -- the CryptoMiniSat-like configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/types.h"
+#include "util/timer.h"
+
+namespace bosphorus::sat {
+
+class XorEngine;
+
+class Solver {
+public:
+    struct Config {
+        bool enable_xor = false;      ///< native XOR propagation + level-0 GJE
+        double var_decay = 0.95;      ///< EVSIDS decay factor
+        double clause_decay = 0.999;  ///< learnt clause activity decay
+        int restart_base = 100;       ///< Luby restart unit (conflicts)
+        double learnt_growth = 1.1;   ///< learnt DB cap growth per reduction
+        int verbosity = 0;
+    };
+
+    struct Stats {
+        uint64_t conflicts = 0;
+        uint64_t decisions = 0;
+        uint64_t propagations = 0;
+        uint64_t restarts = 0;
+        uint64_t learnt_clauses = 0;
+        uint64_t deleted_clauses = 0;
+        uint64_t xor_propagations = 0;
+    };
+
+    Solver() : Solver(Config{}) {}
+    explicit Solver(Config cfg);
+    ~Solver();
+
+    Solver(const Solver&) = delete;
+    Solver& operator=(const Solver&) = delete;
+
+    Var new_var();
+    size_t num_vars() const { return assigns_.size(); }
+
+    /// Add a clause. Returns false if the formula became trivially UNSAT.
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Add a native XOR constraint (only meaningful with Config::enable_xor;
+    /// otherwise it is expanded into CNF clauses internally).
+    bool add_xor(const XorConstraint& x);
+
+    /// Load a whole CNF (creates variables as needed).
+    bool load(const Cnf& cnf);
+
+    /// Solve with an optional conflict budget (< 0: unbounded) and wall-clock
+    /// timeout in seconds (< 0: none). kUnknown when a budget ran out.
+    Result solve(int64_t conflict_budget = -1, double timeout_s = -1.0);
+
+    bool okay() const { return ok_; }
+
+    /// After kSat: the satisfying assignment, indexed by variable.
+    const std::vector<LBool>& model() const { return model_; }
+
+    /// Learnt facts for Bosphorus: unit literals learnt (or implied at
+    /// decision level 0) and learnt binary clauses, accumulated across all
+    /// solve() calls.
+    const std::vector<Lit>& learnt_units() const { return learnt_units_; }
+    const std::vector<std::array<Lit, 2>>& learnt_binaries() const {
+        return learnt_binaries_;
+    }
+
+    const Stats& stats() const { return stats_; }
+
+    /// Current value of a literal under the partial assignment.
+    LBool value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
+    LBool value(Var v) const { return assigns_[v]; }
+
+private:
+    friend class XorEngine;
+
+    // ---- clause storage ----------------------------------------------
+    struct Clause {
+        std::vector<Lit> lits;
+        float activity = 0.0f;
+        uint32_t lbd = 0;
+        bool learnt = false;
+        bool deleted = false;
+    };
+    using CRef = int32_t;
+    static constexpr CRef kNoReason = -1;
+
+    struct Watcher {
+        CRef cref;
+        Lit blocker;
+    };
+
+    // ---- search -------------------------------------------------------
+    CRef propagate();
+    void analyze(CRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+                 uint32_t& out_lbd);
+    bool lit_redundant(Lit l, uint32_t abstract_levels);
+    void cancel_until(int level);
+    Lit pick_branch_lit();
+    void record_learnt_fact(const std::vector<Lit>& clause);
+    double luby(double y, int i) const;
+    void reduce_db();
+
+    // ---- assignment ----------------------------------------------------
+    void enqueue(Lit l, CRef reason);
+    /// Level-0 assignment of v := val; flags UNSAT on contradiction.
+    void enqueue_or_check(Var v, bool val);
+    int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+    int level(Var v) const { return var_level_[v]; }
+
+    // ---- activity -------------------------------------------------------
+    void var_bump(Var v);
+    void var_decay_all();
+    void cla_bump(Clause& c);
+    void insert_var_order(Var v);
+
+    // ---- heap (max-heap on activity, tie-break on index) ----------------
+    void heap_up(size_t i);
+    void heap_down(size_t i);
+    bool heap_lt(Var a, Var b) const;
+
+    CRef alloc_clause(std::vector<Lit> lits, bool learnt);
+    void attach_clause(CRef cr);
+    void detach_clause(CRef cr);
+    void remove_clause(CRef cr);
+
+    Config cfg_;
+    Stats stats_;
+    bool ok_ = true;
+
+    std::vector<Clause> clauses_;        // arena; CRef indexes into this
+    std::vector<CRef> problem_clauses_;  // original clauses
+    std::vector<CRef> learnts_;          // learnt clauses
+
+    std::vector<std::vector<Watcher>> watches_;  // indexed by Lit raw
+    std::vector<LBool> assigns_;                 // by var
+    std::vector<bool> polarity_;                 // phase saving, by var
+    std::vector<int> var_level_;                 // by var
+    std::vector<CRef> var_reason_;               // by var
+    std::vector<double> activity_;               // by var
+    double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    size_t qhead_ = 0;
+
+    std::vector<Var> heap_;       // binary max-heap of decision candidates
+    std::vector<int> heap_pos_;   // by var; -1 if absent
+
+    // analyze() scratch
+    std::vector<uint8_t> seen_;
+    std::vector<Lit> analyze_stack_;
+    std::vector<Lit> analyze_clear_;
+
+    std::vector<LBool> model_;
+    std::vector<Lit> learnt_units_;
+    size_t units_reported_ = 0;  // trail prefix already exported as units
+    std::vector<std::array<Lit, 2>> learnt_binaries_;
+
+    double max_learnts_ = 0;
+
+    std::unique_ptr<XorEngine> xor_engine_;
+};
+
+}  // namespace bosphorus::sat

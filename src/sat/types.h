@@ -1,0 +1,83 @@
+// Core SAT types: variables, literals, ternary logic, CNF container.
+//
+// Conventions follow MiniSat: a literal packs (variable << 1) | sign, where
+// sign = 1 means the negated literal. Variables are 0-based internally;
+// DIMACS I/O converts to/from 1-based signed integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bosphorus::sat {
+
+using Var = uint32_t;
+
+class Lit {
+public:
+    Lit() = default;
+    Lit(Var v, bool negated) : x_((v << 1) | (negated ? 1u : 0u)) {}
+
+    static Lit from_raw(uint32_t raw) {
+        Lit l;
+        l.x_ = raw;
+        return l;
+    }
+
+    Var var() const { return x_ >> 1; }
+    bool sign() const { return x_ & 1; }  // true = negated
+    uint32_t raw() const { return x_; }
+
+    Lit operator~() const { return from_raw(x_ ^ 1); }
+
+    bool operator==(const Lit& o) const { return x_ == o.x_; }
+    bool operator!=(const Lit& o) const { return x_ != o.x_; }
+    bool operator<(const Lit& o) const { return x_ < o.x_; }
+
+    /// 1-based signed DIMACS representation: +v for positive, -v for negated.
+    int to_dimacs() const {
+        const int v = static_cast<int>(var()) + 1;
+        return sign() ? -v : v;
+    }
+
+private:
+    uint32_t x_ = 0xFFFFFFFFu;
+};
+
+inline Lit mk_lit(Var v, bool negated = false) { return Lit(v, negated); }
+
+constexpr uint32_t kLitUndefRaw = 0xFFFFFFFFu;
+inline Lit lit_undef() { return Lit::from_raw(kLitUndefRaw); }
+
+/// Ternary truth value.
+enum class LBool : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+inline LBool operator^(LBool a, bool flip) {
+    if (a == LBool::kUndef) return a;
+    return lbool_from((a == LBool::kTrue) != flip);
+}
+
+/// A native XOR constraint: vars_[0] ^ vars_[1] ^ ... = rhs.
+/// Used by the CMS-like solver configuration (Gauss-Jordan propagation).
+struct XorConstraint {
+    std::vector<Var> vars;
+    bool rhs = false;
+};
+
+/// A CNF formula, optionally with native XOR constraints attached.
+struct Cnf {
+    size_t num_vars = 0;
+    std::vector<std::vector<Lit>> clauses;
+    std::vector<XorConstraint> xors;
+
+    Var new_var() { return static_cast<Var>(num_vars++); }
+
+    void add_clause(std::vector<Lit> lits) { clauses.push_back(std::move(lits)); }
+};
+
+/// Final solver verdict.
+enum class Result : uint8_t { kSat, kUnsat, kUnknown };
+
+}  // namespace bosphorus::sat

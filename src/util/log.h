@@ -1,0 +1,31 @@
+// Minimal leveled logging used by the Bosphorus pipeline.
+//
+// Verbosity is a per-call-site argument rather than a global so that library
+// users can run components at different verbosities in the same process.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace bosphorus {
+
+/// Verbosity levels: 0 = silent, 1 = phase summaries, 2 = per-iteration
+/// detail, 3 = everything (learnt facts, matrix shapes, ...).
+struct Log {
+    int verbosity = 0;
+
+    template <typename... Args>
+    void info(int level, const char* fmt, Args... args) const {
+        if (verbosity >= level) {
+            std::fprintf(stderr, "c ");
+            std::fprintf(stderr, fmt, args...);
+            std::fprintf(stderr, "\n");
+        }
+    }
+
+    void info(int level, const char* msg) const {
+        if (verbosity >= level) std::fprintf(stderr, "c %s\n", msg);
+    }
+};
+
+}  // namespace bosphorus

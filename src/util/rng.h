@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (XL/ElimLin subsampling, VSIDS
+// tie-breaking, benchmark instance generation) draw from this generator so
+// that a given seed reproduces a run bit-for-bit across platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bosphorus {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+/// Seeded through splitmix64 so that low-entropy seeds (0, 1, 2, ...) still
+/// yield well-distributed initial states.
+class Rng {
+public:
+    explicit Rng(uint64_t seed = 0xB05F0125ULL) { reseed(seed); }
+
+    void reseed(uint64_t seed) {
+        uint64_t x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step
+            x += 0x9E3779B97F4A7C15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t next() {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    uint64_t below(uint64_t bound) {
+        // Debiased via rejection sampling on the top of the range.
+        const uint64_t threshold = -bound % bound;
+        for (;;) {
+            const uint64_t r = next();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    bool coin() { return (next() & 1ULL) != 0; }
+
+    /// Fisher-Yates shuffle.
+    template <typename Vec>
+    void shuffle(Vec& v) {
+        for (size_t i = v.size(); i > 1; --i) {
+            const size_t j = static_cast<size_t>(below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+private:
+    static constexpr uint64_t rotl(uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4]{};
+};
+
+}  // namespace bosphorus

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for the benchmark harness and solver budgets.
+#pragma once
+
+#include <chrono>
+
+namespace bosphorus {
+
+/// Monotonic stopwatch. Starts on construction; `seconds()` reads elapsed time.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace bosphorus

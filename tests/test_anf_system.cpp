@@ -1,0 +1,181 @@
+#include "core/anf_system.h"
+
+#include <gtest/gtest.h>
+
+#include "anf/anf_parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace bosphorus::core {
+namespace {
+
+using anf::parse_polynomial;
+using anf::parse_system_from_string;
+using anf::Polynomial;
+
+AnfSystem make(const std::string& text, size_t num_vars) {
+    auto sys = parse_system_from_string(text);
+    return AnfSystem(sys.polynomials, std::max(num_vars, sys.num_vars));
+}
+
+TEST(AnfSystem, AssignsFromUnitPolynomials) {
+    // x1 = 0 (from "x1"), x2 = 1 (from "x2 + 1").
+    AnfSystem sys = make("x1\nx2 + 1\n", 2);
+    EXPECT_TRUE(sys.okay());
+    EXPECT_EQ(sys.resolve(0).kind, VarState::Kind::kFixed);
+    EXPECT_FALSE(sys.resolve(0).value);
+    EXPECT_TRUE(sys.resolve(1).value);
+    EXPECT_TRUE(sys.equations().empty());
+}
+
+TEST(AnfSystem, MonomialFactSetsAllOnes) {
+    // x1*x2*x3 + 1 = 0 forces x1 = x2 = x3 = 1 (paper section II).
+    AnfSystem sys = make("x1*x2*x3 + 1\n", 3);
+    EXPECT_TRUE(sys.okay());
+    for (anf::Var v = 0; v < 3; ++v) {
+        EXPECT_EQ(sys.resolve(v).kind, VarState::Kind::kFixed);
+        EXPECT_TRUE(sys.resolve(v).value);
+    }
+}
+
+TEST(AnfSystem, EquivalencePropagation) {
+    // x1 + x2 = 0 makes them equal; fixing one fixes the other.
+    AnfSystem sys = make("x1 + x2\n", 2);
+    EXPECT_TRUE(sys.okay());
+    EXPECT_EQ(sys.num_replaced(), 1u);
+    sys.add_fact(parse_polynomial("x1 + 1"));
+    EXPECT_TRUE(sys.resolve(0).value);
+    EXPECT_TRUE(sys.resolve(1).value);
+}
+
+TEST(AnfSystem, AntiEquivalencePropagation) {
+    AnfSystem sys = make("x1 + x2 + 1\n", 2);
+    sys.add_fact(parse_polynomial("x1"));  // x1 = 0
+    EXPECT_EQ(sys.resolve(0).kind, VarState::Kind::kFixed);
+    EXPECT_FALSE(sys.resolve(0).value);
+    EXPECT_TRUE(sys.resolve(1).value) << "x2 = !x1 = 1";
+}
+
+TEST(AnfSystem, ContradictionDetected) {
+    AnfSystem sys = make("x1\nx1 + 1\n", 1);
+    EXPECT_FALSE(sys.okay());
+}
+
+TEST(AnfSystem, EquivalenceCycleContradiction) {
+    // x1 = x2, x2 = x3, x1 = !x3 is unsatisfiable.
+    AnfSystem sys = make("x1 + x2\nx2 + x3\nx1 + x3 + 1\n", 3);
+    EXPECT_FALSE(sys.okay());
+}
+
+TEST(AnfSystem, EquivalenceCycleConsistent) {
+    AnfSystem sys = make("x1 + x2\nx2 + x3\nx1 + x3\n", 3);
+    EXPECT_TRUE(sys.okay());
+    EXPECT_EQ(sys.num_replaced(), 2u);
+}
+
+TEST(AnfSystem, PropagationCascades) {
+    // Fixing x1 simplifies x1*x2 + x3 to x3 -> x3 = 0... with x1 = 1.
+    AnfSystem sys = make("x1 + 1\nx1*x2 + x3\n", 3);
+    EXPECT_TRUE(sys.okay());
+    // x1 = 1 reduces the second poly to x2 + x3: an equivalence.
+    EXPECT_EQ(sys.num_fixed(), 1u);
+    EXPECT_EQ(sys.num_replaced(), 1u);
+}
+
+TEST(AnfSystem, PaperExampleSectionIIE) {
+    // The worked example (1): after XL facts are added, propagation alone
+    // reaches the unique solution x1..x4 = 1, x5 = 0.
+    AnfSystem sys = make(
+        "x1*x2 + x3 + x4 + 1\n"
+        "x1*x2*x3 + x1 + x3 + 1\n"
+        "x1*x3 + x3*x4*x5 + x3\n"
+        "x2*x3 + x3*x5 + 1\n"
+        "x2*x3 + x5 + 1\n",
+        5);
+    ASSERT_TRUE(sys.okay());
+    // Add the facts the paper says XL learns.
+    for (const char* f :
+         {"x2*x3*x4 + 1", "x1*x3*x4 + 1", "x1 + x5 + 1", "x1 + x4", "x3 + 1",
+          "x1 + x2"}) {
+        sys.add_fact(parse_polynomial(f));
+    }
+    ASSERT_TRUE(sys.okay());
+    const std::vector<bool> expect{true, true, true, true, false};
+    for (anf::Var v = 0; v < 5; ++v) {
+        const VarState st = sys.resolve(v);
+        EXPECT_EQ(st.kind, VarState::Kind::kFixed) << "x" << v + 1;
+        EXPECT_EQ(st.value, expect[v]) << "x" << v + 1;
+    }
+}
+
+TEST(AnfSystem, AddFactDeduplicates) {
+    AnfSystem sys = make("x1*x2 + x3\n", 3);
+    EXPECT_FALSE(sys.add_fact(parse_polynomial("x1*x2 + x3")))
+        << "existing polynomial is not a new fact";
+    EXPECT_FALSE(sys.add_fact(Polynomial()));
+}
+
+TEST(AnfSystem, CheckSolutionUsesOriginals) {
+    AnfSystem sys = make("x1 + x2\nx1*x2 + 1\n", 2);
+    EXPECT_TRUE(sys.check_solution({true, true}));
+    EXPECT_FALSE(sys.check_solution({true, false}));
+    EXPECT_FALSE(sys.check_solution({false, false}));
+}
+
+TEST(AnfSystem, ExtendAssignment) {
+    AnfSystem sys = make("x1 + 1\nx2 + x3\n", 3);
+    // x1 fixed true; x2 == x3 (one replaced). Free values for the root.
+    const auto full = sys.extend_assignment({false, true, true});
+    EXPECT_TRUE(full[0]);
+    EXPECT_EQ(full[1], full[2]);
+}
+
+TEST(AnfSystem, ToPolynomialsRoundTripsSolutions) {
+    // The processed system must have the same solutions as the input.
+    const std::string text =
+        "x1*x2 + x3\n"
+        "x2 + x4 + 1\n"
+        "x1 + x2\n";
+    const auto parsed = parse_system_from_string(text);
+    AnfSystem sys(parsed.polynomials, 4);
+    ASSERT_TRUE(sys.okay());
+    const auto before = testutil::anf_models(parsed.polynomials, 4);
+    const auto after = testutil::anf_models(sys.to_polynomials(), 4);
+    EXPECT_EQ(before, after);
+}
+
+// Property sweep: propagation preserves the solution set exactly.
+class AnfSystemRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnfSystemRandom, PropagationPreservesSolutions) {
+    Rng rng(GetParam());
+    const unsigned nv = 4 + rng.below(4);
+    std::vector<Polynomial> polys;
+    const size_t np = 3 + rng.below(6);
+    for (size_t i = 0; i < np; ++i) {
+        std::vector<anf::Monomial> monos;
+        const size_t nm = 1 + rng.below(4);
+        for (size_t j = 0; j < nm; ++j) {
+            std::vector<anf::Var> vars;
+            const size_t d = rng.below(3);
+            for (size_t l = 0; l < d; ++l)
+                vars.push_back(static_cast<anf::Var>(rng.below(nv)));
+            monos.emplace_back(std::move(vars));
+        }
+        polys.emplace_back(std::move(monos));
+    }
+    const auto before = testutil::anf_models(polys, nv);
+    AnfSystem sys(polys, nv);
+    if (!sys.okay()) {
+        EXPECT_TRUE(before.empty())
+            << "propagation claimed UNSAT on satisfiable system";
+        return;
+    }
+    const auto after = testutil::anf_models(sys.to_polynomials(), nv);
+    EXPECT_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnfSystemRandom, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace bosphorus::core

@@ -1,0 +1,199 @@
+#include "gf2/gf2_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bosphorus::gf2 {
+namespace {
+
+TEST(Gf2Matrix, GetSetFlip) {
+    Matrix m(3, 130);  // spans three 64-bit words
+    EXPECT_FALSE(m.get(1, 65));
+    m.set(1, 65, true);
+    EXPECT_TRUE(m.get(1, 65));
+    m.flip(1, 65);
+    EXPECT_FALSE(m.get(1, 65));
+    m.set(2, 129, true);
+    EXPECT_TRUE(m.get(2, 129));
+    EXPECT_FALSE(m.get(2, 128));
+}
+
+TEST(Gf2Matrix, XorRow) {
+    Matrix m(2, 70);
+    m.set(0, 0, true);
+    m.set(0, 69, true);
+    m.set(1, 69, true);
+    m.xor_row(1, 0);
+    EXPECT_TRUE(m.get(1, 0));
+    EXPECT_FALSE(m.get(1, 69));
+}
+
+TEST(Gf2Matrix, SwapRows) {
+    Matrix m(2, 5);
+    m.set(0, 1, true);
+    m.set(1, 3, true);
+    m.swap_rows(0, 1);
+    EXPECT_TRUE(m.get(0, 3));
+    EXPECT_TRUE(m.get(1, 1));
+    EXPECT_FALSE(m.get(0, 1));
+}
+
+TEST(Gf2Matrix, RowIsZeroAndFirstSet) {
+    Matrix m(2, 100);
+    EXPECT_TRUE(m.row_is_zero(0));
+    EXPECT_EQ(m.first_set_in_row(0), -1);
+    m.set(0, 77, true);
+    EXPECT_FALSE(m.row_is_zero(0));
+    EXPECT_EQ(m.first_set_in_row(0), 77);
+    m.set(0, 3, true);
+    EXPECT_EQ(m.first_set_in_row(0), 3);
+}
+
+TEST(Gf2Matrix, RowPopcount) {
+    Matrix m(1, 128);
+    EXPECT_EQ(m.row_popcount(0), 0u);
+    for (size_t c : {0u, 63u, 64u, 127u}) m.set(0, c, true);
+    EXPECT_EQ(m.row_popcount(0), 4u);
+}
+
+TEST(Gf2Matrix, AddRow) {
+    Matrix m(1, 10);
+    const size_t r = m.add_row();
+    EXPECT_EQ(r, 1u);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_TRUE(m.row_is_zero(1));
+}
+
+TEST(Gf2Matrix, RrefIdentity) {
+    Matrix m = Matrix::identity(5);
+    std::vector<size_t> pivots;
+    EXPECT_EQ(m.rref(&pivots), 5u);
+    EXPECT_EQ(pivots.size(), 5u);
+    EXPECT_EQ(m, Matrix::identity(5));
+}
+
+TEST(Gf2Matrix, RrefKnownSystem) {
+    // x+y=1, y+z=1, x+z=0 -- consistent, rank 2.
+    Matrix m(3, 4);  // columns x, y, z, rhs
+    m.set(0, 0, true); m.set(0, 1, true); m.set(0, 3, true);
+    m.set(1, 1, true); m.set(1, 2, true); m.set(1, 3, true);
+    m.set(2, 0, true); m.set(2, 2, true);
+    EXPECT_EQ(m.rref(), 2u);
+    // Third row must reduce to zero.
+    EXPECT_TRUE(m.row_is_zero(2));
+}
+
+TEST(Gf2Matrix, RrefDetectsInconsistency) {
+    // x=0, x=1 -> reduced row 0...0|1.
+    Matrix m(2, 2);
+    m.set(0, 0, true);
+    m.set(1, 0, true); m.set(1, 1, true);
+    m.rref();
+    bool found_contradiction = false;
+    for (size_t r = 0; r < 2; ++r) {
+        if (!m.row_is_zero(r) && m.first_set_in_row(r) == 1)
+            found_contradiction = true;
+    }
+    EXPECT_TRUE(found_contradiction);
+}
+
+TEST(Gf2Matrix, MultiplyIdentity) {
+    Rng rng(7);
+    const Matrix a = Matrix::random(6, 9, rng);
+    EXPECT_EQ(Matrix::multiply(a, Matrix::identity(9)), a);
+    EXPECT_EQ(Matrix::multiply(Matrix::identity(6), a), a);
+}
+
+TEST(Gf2Matrix, MultiplyKnown) {
+    Matrix a(2, 2), b(2, 2);
+    a.set(0, 0, true); a.set(0, 1, true); a.set(1, 1, true);
+    b.set(0, 0, true); b.set(1, 0, true); b.set(1, 1, true);
+    // [[1,1],[0,1]] * [[1,0],[1,1]] = [[0,1],[1,1]]
+    const Matrix c = Matrix::multiply(a, b);
+    EXPECT_FALSE(c.get(0, 0));
+    EXPECT_TRUE(c.get(0, 1));
+    EXPECT_TRUE(c.get(1, 0));
+    EXPECT_TRUE(c.get(1, 1));
+}
+
+TEST(Gf2Matrix, NullspaceOfIdentityIsEmpty) {
+    Matrix m = Matrix::identity(4);
+    EXPECT_TRUE(m.nullspace().empty());
+}
+
+TEST(Gf2Matrix, NullspaceKnown) {
+    // Single equation x + y = 0 over (x, y): nullspace = {(1,1)}.
+    Matrix m(1, 2);
+    m.set(0, 0, true);
+    m.set(0, 1, true);
+    const auto ns = m.nullspace();
+    ASSERT_EQ(ns.size(), 1u);
+    EXPECT_TRUE(ns[0][0]);
+    EXPECT_TRUE(ns[0][1]);
+}
+
+// ---- property sweeps ----------------------------------------------------
+
+class Gf2MatrixRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf2MatrixRandom, RrefIsIdempotentAndRankBounded) {
+    Rng rng(GetParam());
+    const size_t rows = 1 + rng.below(20);
+    const size_t cols = 1 + rng.below(100);
+    Matrix m = Matrix::random(rows, cols, rng);
+    Matrix copy = m;
+    const size_t rank = m.rref();
+    EXPECT_LE(rank, std::min(rows, cols));
+    Matrix again = m;
+    EXPECT_EQ(again.rref(), rank);
+    EXPECT_EQ(again, m);  // RREF is a fixed point
+    // Row echelon rank agrees with RREF rank.
+    EXPECT_EQ(copy.row_echelon(), rank);
+}
+
+TEST_P(Gf2MatrixRandom, NullspaceVectorsAreInKernel) {
+    Rng rng(GetParam() + 1000);
+    const size_t rows = 1 + rng.below(12);
+    const size_t cols = 1 + rng.below(24);
+    const Matrix original = Matrix::random(rows, cols, rng);
+    Matrix work = original;
+    const auto ns = work.nullspace();
+    // Kernel dimension = cols - rank.
+    Matrix rank_probe = original;
+    const size_t rank = rank_probe.rref();
+    EXPECT_EQ(ns.size(), cols - rank);
+    for (const auto& v : ns) {
+        for (size_t r = 0; r < rows; ++r) {
+            bool acc = false;
+            for (size_t c = 0; c < cols; ++c)
+                acc ^= original.get(r, c) && v[c];
+            EXPECT_FALSE(acc) << "nullspace vector not in kernel";
+        }
+    }
+}
+
+TEST_P(Gf2MatrixRandom, RrefPreservesRowSpace) {
+    // Every original row must be a combination of RREF rows: appending an
+    // original row to the RREF matrix must not increase the rank.
+    Rng rng(GetParam() + 2000);
+    const size_t rows = 1 + rng.below(10);
+    const size_t cols = 1 + rng.below(20);
+    const Matrix original = Matrix::random(rows, cols, rng);
+    Matrix reduced = original;
+    const size_t rank = reduced.rref();
+    for (size_t r = 0; r < rows; ++r) {
+        Matrix probe(rows + 1, cols);
+        for (size_t i = 0; i < rows; ++i)
+            for (size_t c = 0; c < cols; ++c)
+                probe.set(i, c, reduced.get(i, c));
+        for (size_t c = 0; c < cols; ++c)
+            probe.set(rows, c, original.get(r, c));
+        EXPECT_EQ(probe.rref(), rank);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gf2MatrixRandom, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace bosphorus::gf2

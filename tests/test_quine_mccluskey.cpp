@@ -1,0 +1,121 @@
+#include "minimize/quine_mccluskey.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bosphorus::minimize {
+namespace {
+
+/// Brute-force check: the cover is exactly the ON-set.
+void expect_exact_cover(const std::vector<Implicant>& cover,
+                        const std::vector<bool>& on_set, unsigned k) {
+    for (uint32_t m = 0; m < (1u << k); ++m) {
+        bool covered = false;
+        for (const auto& imp : cover) {
+            if (imp.covers(m)) { covered = true; break; }
+        }
+        EXPECT_EQ(covered, static_cast<bool>(on_set[m])) << "minterm " << m;
+    }
+}
+
+TEST(QuineMccluskey, EmptyOnSet) {
+    std::vector<bool> on(4, false);
+    EXPECT_TRUE(prime_implicants(on, 2).empty());
+    EXPECT_TRUE(minimize_sop(on, 2).empty());
+}
+
+TEST(QuineMccluskey, FullOnSetIsOneCube) {
+    std::vector<bool> on(8, true);
+    const auto cover = minimize_sop(on, 3);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].mask, 0u) << "tautological cube";
+}
+
+TEST(QuineMccluskey, SingleMinterm) {
+    std::vector<bool> on(8, false);
+    on[5] = true;  // x0=1, x1=0, x2=1
+    const auto cover = minimize_sop(on, 3);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].mask, 7u);
+    EXPECT_EQ(cover[0].value, 5u);
+}
+
+TEST(QuineMccluskey, ClassicTextbookExample) {
+    // f(a,b,c,d) with on-set {4,8,10,11,12,15} (classic QM example);
+    // the minimal cover has 4 terms (with don't-cares it would be fewer;
+    // we use none).
+    std::vector<bool> on(16, false);
+    for (int m : {4, 8, 10, 11, 12, 15}) on[m] = true;
+    const auto cover = minimize_sop(on, 4);
+    expect_exact_cover(cover, on, 4);
+    EXPECT_LE(cover.size(), 4u);
+}
+
+TEST(QuineMccluskey, ParityHasNoMerging) {
+    // XOR of 3 variables: all prime implicants are the minterms themselves.
+    std::vector<bool> on(8, false);
+    for (uint32_t m = 0; m < 8; ++m) {
+        const bool parity = ((m & 1) != 0) ^ ((m & 2) != 0) ^ ((m & 4) != 0);
+        on[m] = parity;
+    }
+    const auto primes = prime_implicants(on, 3);
+    EXPECT_EQ(primes.size(), 4u);
+    for (const auto& p : primes) EXPECT_EQ(p.mask, 7u);
+    const auto cover = minimize_sop(on, 3);
+    EXPECT_EQ(cover.size(), 4u);
+    expect_exact_cover(cover, on, 3);
+}
+
+TEST(QuineMccluskey, Fig3PaperPolynomial) {
+    // x1x3 + x1 + x2 + x4 + 1 (paper Fig. 3): the minimal CNF cover has 6
+    // clauses (paper Fig. 2, left).
+    // Variable order: bit 0 = x1, bit 1 = x2, bit 2 = x3, bit 3 = x4.
+    std::vector<bool> on(16, false);
+    for (uint32_t m = 0; m < 16; ++m) {
+        const bool x1 = m & 1, x2 = (m >> 1) & 1, x3 = (m >> 2) & 1,
+                   x4 = (m >> 3) & 1;
+        on[m] = (x1 && x3) ^ x1 ^ x2 ^ x4 ^ 1;
+    }
+    const auto cover = minimize_sop(on, 4);
+    expect_exact_cover(cover, on, 4);
+    EXPECT_EQ(cover.size(), 6u);
+    const auto clauses = cover_to_clauses(cover, 4);
+    EXPECT_EQ(clauses.size(), 6u);
+}
+
+TEST(QuineMccluskey, CoverToClausesSemantics) {
+    // Forbid the single assignment x0=1, x1=0: clause (!x0 | x1).
+    std::vector<Implicant> cover{{3u, 1u}};
+    const auto clauses = cover_to_clauses(cover, 2);
+    ASSERT_EQ(clauses.size(), 1u);
+    ASSERT_EQ(clauses[0].literals.size(), 2u);
+    // (var 0, negated=true), (var 1, negated=false)
+    EXPECT_EQ(clauses[0].literals[0], (std::pair<unsigned, bool>{0, true}));
+    EXPECT_EQ(clauses[0].literals[1], (std::pair<unsigned, bool>{1, false}));
+}
+
+class QmRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmRandom, CoverIsExactAndPrimesAreImplicants) {
+    Rng rng(GetParam());
+    const unsigned k = 2 + rng.below(4);  // 2..5 variables
+    std::vector<bool> on(1u << k);
+    for (size_t i = 0; i < on.size(); ++i) on[i] = rng.coin();
+
+    const auto primes = prime_implicants(on, k);
+    // Every prime implicant covers only ON minterms.
+    for (const auto& p : primes) {
+        for (uint32_t m = 0; m < (1u << k); ++m) {
+            if (p.covers(m)) EXPECT_TRUE(on[m]);
+        }
+    }
+    const auto cover = minimize_sop(on, k);
+    expect_exact_cover(cover, on, k);
+    EXPECT_LE(cover.size(), primes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmRandom, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace bosphorus::minimize

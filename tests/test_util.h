@@ -1,0 +1,66 @@
+// Shared brute-force oracles for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "sat/types.h"
+
+namespace bosphorus::testutil {
+
+/// All satisfying assignments of an ANF system (every polynomial == 0),
+/// brute-forced over num_vars <= ~20 variables. Assignments encoded as
+/// bitmasks (bit v = variable v).
+inline std::vector<uint32_t> anf_models(
+    const std::vector<anf::Polynomial>& polys, size_t num_vars) {
+    std::vector<uint32_t> models;
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+        std::vector<bool> a(num_vars);
+        for (size_t v = 0; v < num_vars; ++v) a[v] = (m >> v) & 1;
+        bool ok = true;
+        for (const auto& p : polys) {
+            if (p.evaluate(a)) { ok = false; break; }
+        }
+        if (ok) models.push_back(m);
+    }
+    return models;
+}
+
+/// All satisfying assignments of a CNF (clauses + xors).
+inline std::vector<uint32_t> cnf_models(const sat::Cnf& cnf) {
+    std::vector<uint32_t> models;
+    for (uint32_t m = 0; m < (1u << cnf.num_vars); ++m) {
+        bool ok = true;
+        for (const auto& clause : cnf.clauses) {
+            bool sat_clause = false;
+            for (sat::Lit l : clause) {
+                const bool val = (m >> l.var()) & 1;
+                if (val != l.sign()) { sat_clause = true; break; }
+            }
+            if (!sat_clause) { ok = false; break; }
+        }
+        if (ok) {
+            for (const auto& x : cnf.xors) {
+                bool parity = false;
+                for (sat::Var v : x.vars) parity ^= (m >> v) & 1;
+                if (parity != x.rhs) { ok = false; break; }
+            }
+        }
+        if (ok) models.push_back(m);
+    }
+    return models;
+}
+
+/// Project CNF models onto the first `keep` variables, deduplicated.
+inline std::vector<uint32_t> project_models(std::vector<uint32_t> models,
+                                            size_t keep) {
+    const uint32_t mask = keep >= 32 ? 0xFFFFFFFFu : ((1u << keep) - 1);
+    for (auto& m : models) m &= mask;
+    std::sort(models.begin(), models.end());
+    models.erase(std::unique(models.begin(), models.end()), models.end());
+    return models;
+}
+
+}  // namespace bosphorus::testutil

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anf/anf_parser.h"
+#include "core/elimlin.h"
+#include "core/linearize.h"
+#include "core/xl.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace bosphorus::core {
+namespace {
+
+using anf::parse_polynomial;
+using anf::parse_system_from_string;
+using anf::Polynomial;
+
+bool contains(const std::vector<Polynomial>& facts, const char* s) {
+    const Polynomial p = parse_polynomial(s);
+    return std::find(facts.begin(), facts.end(), p) != facts.end();
+}
+
+// ---- linearisation -------------------------------------------------------
+
+TEST(Linearize, ColumnsDescendingDegLex) {
+    const auto sys = parse_system_from_string("x1*x2 + x3 + 1\nx2 + x3\n");
+    const Linearization lin = linearize(sys.polynomials);
+    ASSERT_EQ(lin.cols(), 4u);  // x1x2, x3, x2, 1
+    EXPECT_EQ(lin.col_monomial.front().degree(), 2u);
+    EXPECT_TRUE(lin.col_monomial.back().is_one());
+    for (size_t c = 0; c + 1 < lin.cols(); ++c)
+        EXPECT_TRUE(lin.col_monomial[c + 1] < lin.col_monomial[c]);
+}
+
+TEST(Linearize, RowRoundTrip) {
+    const auto sys =
+        parse_system_from_string("x1*x2 + x3 + 1\nx2*x3 + x3\nx1 + 1\n");
+    const Linearization lin = linearize(sys.polynomials);
+    for (size_t r = 0; r < lin.rows(); ++r)
+        EXPECT_EQ(row_to_polynomial(lin, r), sys.polynomials[r]);
+}
+
+TEST(Linearize, LinearizedSize) {
+    const auto sys = parse_system_from_string("x1*x2 + x3 + 1\nx2 + x3\n");
+    // 2 rows x 4 distinct monomials.
+    EXPECT_EQ(linearized_size(sys.polynomials), 8u);
+}
+
+TEST(Linearize, SubsampleRespectsBudget) {
+    Rng rng(1);
+    std::vector<Polynomial> polys;
+    for (int i = 0; i < 50; ++i)
+        polys.push_back(parse_polynomial("x" + std::to_string(i + 1) +
+                                         " + x" + std::to_string(i + 2)));
+    const auto idx = subsample(polys, 64, rng);
+    EXPECT_LT(idx.size(), polys.size());
+    const auto all = subsample(polys, size_t{1} << 30, rng);
+    EXPECT_EQ(all.size(), polys.size()) << "huge budget takes everything";
+}
+
+// ---- XL: the Table I worked example --------------------------------------
+
+TEST(Xl, TableIExample) {
+    // ANF {x1x2 + x1 + 1, x2x3 + x3}, expansion degree D = 1. The paper's
+    // Table I retains the facts {x1 + 1, x2, x3}.
+    const auto sys =
+        parse_system_from_string("x1*x2 + x1 + 1\nx2*x3 + x3\n");
+    XlConfig cfg;
+    cfg.degree = 1;
+    cfg.m_budget = 20;  // plenty: no subsampling on this toy system
+    Rng rng(1);
+    XlStats stats;
+    const auto facts = run_xl(sys.polynomials, cfg, rng, &stats);
+    EXPECT_TRUE(contains(facts, "x1 + 1"));
+    EXPECT_TRUE(contains(facts, "x2"));
+    EXPECT_TRUE(contains(facts, "x3"));
+    EXPECT_GE(stats.expanded_rows, 6u);
+    EXPECT_EQ(stats.columns, 8u);  // as in Table I(a)
+}
+
+TEST(Xl, SectionIIEExampleLearnsListedFacts) {
+    const auto sys = parse_system_from_string(
+        "x1*x2 + x3 + x4 + 1\n"
+        "x1*x2*x3 + x1 + x3 + 1\n"
+        "x1*x3 + x3*x4*x5 + x3\n"
+        "x2*x3 + x3*x5 + 1\n"
+        "x2*x3 + x5 + 1\n");
+    XlConfig cfg;
+    cfg.degree = 1;
+    cfg.m_budget = 24;
+    Rng rng(1);
+    const auto facts = run_xl(sys.polynomials, cfg, rng);
+    // The paper lists these six facts for XL with D = 1:
+    for (const char* f :
+         {"x2*x3*x4 + 1", "x1*x3*x4 + 1", "x1 + x5 + 1", "x1 + x4", "x3 + 1",
+          "x1 + x2"}) {
+        EXPECT_TRUE(contains(facts, f)) << f;
+    }
+}
+
+TEST(Xl, EmptySystem) {
+    Rng rng(1);
+    EXPECT_TRUE(run_xl({}, XlConfig{}, rng).empty());
+}
+
+TEST(Xl, DetectsContradiction) {
+    const auto sys = parse_system_from_string("x1\nx1 + 1\n");
+    Rng rng(1);
+    XlConfig cfg;
+    cfg.m_budget = 16;
+    const auto facts = run_xl(sys.polynomials, cfg, rng);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_TRUE(facts[0].is_one());
+}
+
+// ---- ElimLin ---------------------------------------------------------------
+
+TEST(ElimLin, SectionIICExample) {
+    // {x1 + x2 + x3, x1x2 + x2x3 + 1}: ElimLin derives x2 + 1 (i.e. x2 = 1).
+    const auto sys =
+        parse_system_from_string("x1 + x2 + x3\nx1*x2 + x2*x3 + 1\n");
+    ElimLinConfig cfg;
+    cfg.m_budget = 16;
+    Rng rng(1);
+    ElimLinStats stats;
+    const auto facts = run_elimlin(sys.polynomials, cfg, rng, &stats);
+    EXPECT_TRUE(contains(facts, "x1 + x2 + x3"));
+    EXPECT_TRUE(contains(facts, "x2 + 1"));
+    EXPECT_GE(stats.iterations, 1u);
+    EXPECT_GE(stats.eliminated_vars, 1u);
+}
+
+TEST(ElimLin, DetectsContradiction) {
+    const auto sys = parse_system_from_string("x1 + x2\nx1 + x2 + 1\n");
+    ElimLinConfig cfg;
+    cfg.m_budget = 16;
+    Rng rng(1);
+    const auto facts = run_elimlin(sys.polynomials, cfg, rng);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_TRUE(facts[0].is_one());
+}
+
+TEST(ElimLin, PureLinearSystemFullySolved) {
+    // A solvable linear system: facts must pin every variable.
+    const auto sys = parse_system_from_string(
+        "x1 + x2 + 1\n"
+        "x2 + x3\n"
+        "x1 + x3\n"  // consistent: x1 = x3, x2 = x3, x1 = !x2 -> contradiction?
+    );
+    // x1 + x2 = 1, x2 = x3, x1 = x3 => x1 + x2 = 0: contradiction.
+    ElimLinConfig cfg;
+    cfg.m_budget = 16;
+    Rng rng(1);
+    const auto facts = run_elimlin(sys.polynomials, cfg, rng);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_TRUE(facts[0].is_one());
+}
+
+// ---- property sweeps: learnt facts are consequences ----------------------
+
+class LearnRandom : public ::testing::TestWithParam<int> {};
+
+std::vector<Polynomial> random_system(Rng& rng, unsigned nv, size_t np) {
+    std::vector<Polynomial> polys;
+    for (size_t i = 0; i < np; ++i) {
+        std::vector<anf::Monomial> monos;
+        const size_t nm = 1 + rng.below(4);
+        for (size_t j = 0; j < nm; ++j) {
+            std::vector<anf::Var> vars;
+            const size_t d = rng.below(3);
+            for (size_t l = 0; l < d; ++l)
+                vars.push_back(static_cast<anf::Var>(rng.below(nv)));
+            monos.emplace_back(std::move(vars));
+        }
+        polys.emplace_back(std::move(monos));
+    }
+    return polys;
+}
+
+TEST_P(LearnRandom, XlFactsAreConsequences) {
+    Rng rng(GetParam());
+    const unsigned nv = 4 + rng.below(4);
+    const auto polys = random_system(rng, nv, 4 + rng.below(5));
+    const auto models = testutil::anf_models(polys, nv);
+
+    XlConfig cfg;
+    cfg.m_budget = 14;
+    Rng xl_rng(GetParam() * 17 + 1);
+    const auto facts = run_xl(polys, cfg, xl_rng);
+    for (const auto& f : facts) {
+        if (f.is_one()) {
+            EXPECT_TRUE(models.empty()) << "XL claimed UNSAT wrongly";
+            continue;
+        }
+        for (uint32_t m : models) {
+            std::vector<bool> a(nv);
+            for (unsigned v = 0; v < nv; ++v) a[v] = (m >> v) & 1;
+            EXPECT_FALSE(f.evaluate(a))
+                << "XL fact " << f.to_string() << " violated by a model";
+        }
+    }
+}
+
+TEST_P(LearnRandom, ElimLinFactsAreConsequences) {
+    Rng rng(GetParam() + 999);
+    const unsigned nv = 4 + rng.below(4);
+    const auto polys = random_system(rng, nv, 4 + rng.below(5));
+    const auto models = testutil::anf_models(polys, nv);
+
+    ElimLinConfig cfg;
+    cfg.m_budget = 14;
+    Rng el_rng(GetParam() * 31 + 7);
+    const auto facts = run_elimlin(polys, cfg, el_rng);
+    for (const auto& f : facts) {
+        if (f.is_one()) {
+            EXPECT_TRUE(models.empty()) << "ElimLin claimed UNSAT wrongly";
+            continue;
+        }
+        for (uint32_t m : models) {
+            std::vector<bool> a(nv);
+            for (unsigned v = 0; v < nv; ++v) a[v] = (m >> v) & 1;
+            EXPECT_FALSE(f.evaluate(a))
+                << "ElimLin fact " << f.to_string() << " violated by a model";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnRandom, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace bosphorus::core
