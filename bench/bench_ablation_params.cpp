@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pipeline.h"
+#include "bosphorus/bosphorus.h"
 #include "crypto/simon.h"
 
 using namespace bosphorus;
@@ -23,24 +23,25 @@ struct AblationResult {
     bool solved = false;
 };
 
-AblationResult run(const std::vector<anf::Polynomial>& polys, size_t nv,
-                   const core::Options& opt, double timeout) {
-    core::PipelineConfig cfg;
+AblationResult run(const Problem& problem, const EngineConfig& opt,
+                   double timeout) {
+    SolveConfig cfg;
     cfg.solver = sat::SolverKind::kCmsLike;
-    cfg.use_bosphorus = true;
-    cfg.bosphorus = opt;
+    cfg.preprocess = true;
+    cfg.engine = opt;
     cfg.timeout_s = timeout;
-    cfg.bosphorus_budget_s = timeout * 0.6;
-    const auto out = core::solve_anf_instance(polys, nv, cfg);
+    cfg.engine_budget_s = timeout * 0.6;
+    const Result<SolveOutcome> out = solve(problem, cfg);
     AblationResult res;
-    res.loop_s = out.bosphorus_seconds;
-    res.total_s = out.seconds;
-    res.solved = out.result != sat::Result::kUnknown;
+    if (!out.ok()) return res;
+    res.loop_s = out->engine_seconds;
+    res.total_s = out->seconds;
+    res.solved = out->result != sat::Result::kUnknown;
     return res;
 }
 
-core::Options base_options() {
-    core::Options opt;
+EngineConfig base_options() {
+    EngineConfig opt;
     opt.xl.m_budget = 20;
     opt.elimlin.m_budget = 20;
     opt.sat_conflicts_start = 10'000;
@@ -64,8 +65,9 @@ int main() {
     std::printf("%-34s %-8s %-10s %-8s\n", "configuration", "loop(s)",
                 "total(s)", "solved");
 
-    auto report = [&](const char* name, const core::Options& opt) {
-        const auto r = run(inst.polys, inst.num_vars, opt, timeout);
+    const Problem problem = Problem::from_anf(inst.polys, inst.num_vars);
+    auto report = [&](const char* name, const EngineConfig& opt) {
+        const auto r = run(problem, opt, timeout);
         std::printf("%-34s %-8.2f %-10.2f %-8s\n", name, r.loop_s, r.total_s,
                     r.solved ? "yes" : "NO");
     };

@@ -4,8 +4,7 @@
 #include <cstdio>
 
 #include "anf/anf_parser.h"
-#include "core/anf_to_cnf.h"
-#include "core/bosphorus.h"
+#include "bosphorus/bosphorus.h"
 #include "core/elimlin.h"
 #include "core/xl.h"
 #include "sat/solver.h"
@@ -53,21 +52,28 @@ int main() {
     }
 
     std::printf("\n[full loop] ");
-    core::Options opt;
+    EngineConfig opt;
     opt.xl.m_budget = 20;
     opt.elimlin.m_budget = 20;
-    core::Bosphorus tool(opt);
-    const auto res = tool.process_anf(sys.polynomials, 5);
-    if (res.status == sat::Result::kSat) {
+    Engine engine(opt);
+    const auto run = engine.run(Problem::from_anf(sys.polynomials, 5));
+    if (!run.ok()) {
+        std::printf("engine failed: %s\n", run.status().to_string().c_str());
+        return 1;
+    }
+    const Report& res = *run;
+    if (res.verdict == sat::Result::kSat) {
         std::printf("solved:");
         for (size_t v = 0; v < 5; ++v)
             std::printf(" x%zu=%d", v + 1, res.solution[v] ? 1 : 0);
         std::printf("  (paper: x1=x2=x3=x4=1, x5=0)\n");
     } else {
         std::printf("status %d after %zu iterations\n",
-                    static_cast<int>(res.status), res.iterations);
+                    static_cast<int>(res.verdict), res.iterations);
     }
-    std::printf("facts: xl=%zu elimlin=%zu sat=%zu\n", res.facts_from_xl,
-                res.facts_from_elimlin, res.facts_from_sat);
+    std::printf("facts:");
+    for (const auto& t : res.techniques)
+        std::printf(" %s=%zu", t.name.c_str(), t.facts);
+    std::printf("\n");
     return 0;
 }

@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "cnfgen/generators.h"
-#include "core/pipeline.h"
 #include "table2_common.h"
 
 using namespace bosphorus;
@@ -31,15 +30,22 @@ struct Row {
 Row run(const std::vector<const sat::Cnf*>& instances, sat::SolverKind kind,
         bool with, const BenchScale& scale) {
     Row row;
-    std::vector<core::PipelineOutcome> outcomes;
+    std::vector<SolveOutcome> outcomes;
     for (const sat::Cnf* cnf : instances) {
-        const auto out = core::solve_cnf_instance(
-            *cnf, bench::make_config(kind, with, scale));
-        outcomes.push_back(out);
-        if (out.result == sat::Result::kSat) ++row.sat;
-        if (out.result == sat::Result::kUnsat) ++row.unsat;
+        const Result<SolveOutcome> out = solve(
+            Problem::from_cnf(*cnf), bench::make_config(kind, with, scale));
+        if (!out.ok()) {
+            // Score the failure as unsolved so it penalises PAR-2.
+            std::fprintf(stderr, "c solve error: %s\n",
+                         out.status().to_string().c_str());
+            outcomes.emplace_back();
+            continue;
+        }
+        outcomes.push_back(*out);
+        if (out->result == sat::Result::kSat) ++row.sat;
+        if (out->result == sat::Result::kUnsat) ++row.unsat;
     }
-    row.par2 = core::par2_score(outcomes, scale.timeout_s);
+    row.par2 = par2_score(outcomes, scale.timeout_s);
     return row;
 }
 

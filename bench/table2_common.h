@@ -2,6 +2,9 @@
 // through {MiniSat-like, Lingeling-like, CMS-like} x {w/o, w Bosphorus} and
 // print PAR-2 scores with solved counts in the paper's layout.
 //
+// Built on the library facade: each instance is a bosphorus::Problem and
+// each cell is a bosphorus::solve() call.
+//
 // Scaling: the paper uses a 5,000 s timeout and 50-500 instances per class;
 // that is a multi-CPU-month budget. The harness defaults to laptop-scale
 // (BENCH_INSTANCES, BENCH_TIMEOUT env vars override) -- per DESIGN.md the
@@ -15,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.h"
+#include "bosphorus/bosphorus.h"
 
 namespace bosphorus::bench {
 
@@ -55,27 +58,26 @@ struct Cell {
     size_t solved_unsat = 0;
 };
 
-inline core::PipelineConfig make_config(sat::SolverKind kind,
-                                        bool use_bosphorus,
-                                        const BenchScale& scale) {
-    core::PipelineConfig cfg;
+inline SolveConfig make_config(sat::SolverKind kind, bool use_bosphorus,
+                               const BenchScale& scale) {
+    SolveConfig cfg;
     cfg.solver = kind;
-    cfg.use_bosphorus = use_bosphorus;
+    cfg.preprocess = use_bosphorus;
     cfg.timeout_s = scale.timeout_s;
-    cfg.bosphorus_budget_s = scale.bosphorus_budget_s;
+    cfg.engine_budget_s = scale.bosphorus_budget_s;
     // Paper parameters scaled for laptop budgets: M = 20 instead of 30
     // (the 2^30 sampling budget targets the authors' large-memory nodes);
     // conflict schedule kept at the paper's values.
-    cfg.bosphorus.xl.m_budget = 20;
-    cfg.bosphorus.elimlin.m_budget = 20;
-    cfg.bosphorus.xl.degree = 1;
-    cfg.bosphorus.conv.karnaugh_k = 8;
-    cfg.bosphorus.conv.xor_cut = 5;
-    cfg.bosphorus.clause_cut = 5;
-    cfg.bosphorus.sat_conflicts_start = 10'000;
-    cfg.bosphorus.sat_conflicts_max = 100'000;
-    cfg.bosphorus.sat_conflicts_step = 10'000;
-    cfg.bosphorus.max_iterations = 16;
+    cfg.engine.xl.m_budget = 20;
+    cfg.engine.elimlin.m_budget = 20;
+    cfg.engine.xl.degree = 1;
+    cfg.engine.conv.karnaugh_k = 8;
+    cfg.engine.conv.xor_cut = 5;
+    cfg.engine.clause_cut = 5;
+    cfg.engine.sat_conflicts_start = 10'000;
+    cfg.engine.sat_conflicts_max = 100'000;
+    cfg.engine.sat_conflicts_step = 10'000;
+    cfg.engine.max_iterations = 16;
     return cfg;
 }
 
@@ -88,26 +90,36 @@ inline void run_class_row(
     constexpr sat::SolverKind kKinds[] = {sat::SolverKind::kMinisatLike,
                                           sat::SolverKind::kLingelingLike,
                                           sat::SolverKind::kCmsLike};
-    // Generate instances once.
-    std::vector<AnfInstance> instances;
-    for (size_t i = 0; i < scale.instances; ++i)
-        instances.push_back(make_instance(i));
+    // Generate instances once, as facade problems.
+    std::vector<Problem> problems;
+    for (size_t i = 0; i < scale.instances; ++i) {
+        AnfInstance inst = make_instance(i);
+        problems.push_back(
+            Problem::from_anf(std::move(inst.polys), inst.num_vars));
+    }
 
     for (const bool with : {false, true}) {
         std::printf("%-14s %-3s", with ? "" : name.c_str(),
                     with ? "w" : "w/o");
         for (const sat::SolverKind kind : kKinds) {
             Cell cell;
-            std::vector<core::PipelineOutcome> outcomes;
-            for (const auto& inst : instances) {
-                const auto out = core::solve_anf_instance(
-                    inst.polys, inst.num_vars,
-                    make_config(kind, with, scale));
-                outcomes.push_back(out);
-                if (out.result == sat::Result::kSat) ++cell.solved_sat;
-                if (out.result == sat::Result::kUnsat) ++cell.solved_unsat;
+            std::vector<SolveOutcome> outcomes;
+            for (const auto& problem : problems) {
+                const Result<SolveOutcome> run =
+                    solve(problem, make_config(kind, with, scale));
+                if (!run.ok()) {
+                    // Score the failure as unsolved so it penalises the
+                    // cell's PAR-2 instead of flattering it.
+                    std::fprintf(stderr, "c solve error: %s\n",
+                                 run.status().to_string().c_str());
+                    outcomes.emplace_back();
+                    continue;
+                }
+                outcomes.push_back(*run);
+                if (run->result == sat::Result::kSat) ++cell.solved_sat;
+                if (run->result == sat::Result::kUnsat) ++cell.solved_unsat;
             }
-            cell.par2 = core::par2_score(outcomes, scale.timeout_s);
+            cell.par2 = par2_score(outcomes, scale.timeout_s);
             if (cell.solved_unsat > 0) {
                 std::printf("  %8.1f (%2zu+%zu)", cell.par2, cell.solved_sat,
                             cell.solved_unsat);

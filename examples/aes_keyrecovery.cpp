@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pipeline.h"
+#include "bosphorus/bosphorus.h"
 #include "crypto/aes_small.h"
 
 int main(int argc, char** argv) {
@@ -32,18 +32,23 @@ int main(int argc, char** argv) {
                 "key...\n",
                 aes.num_words() * params.e);
 
+    const Problem problem = Problem::from_anf(inst.polys, inst.num_vars);
     for (const bool with_bosphorus : {false, true}) {
-        core::PipelineConfig cfg;
+        SolveConfig cfg;
         cfg.solver = sat::SolverKind::kCmsLike;
-        cfg.use_bosphorus = with_bosphorus;
-        cfg.bosphorus.xl.m_budget = 20;
-        cfg.bosphorus.elimlin.m_budget = 20;
-        cfg.bosphorus.sat_conflicts_start = 5'000;
+        cfg.preprocess = with_bosphorus;
+        cfg.engine.xl.m_budget = 20;
+        cfg.engine.elimlin.m_budget = 20;
+        cfg.engine.sat_conflicts_start = 5'000;
         cfg.timeout_s = 120.0;
-        cfg.bosphorus_budget_s = 30.0;
+        cfg.engine_budget_s = 30.0;
 
-        const auto out =
-            core::solve_anf_instance(inst.polys, inst.num_vars, cfg);
+        const Result<SolveOutcome> run = solve(problem, cfg);
+        if (!run.ok()) {
+            std::printf("solve failed: %s\n", run.status().to_string().c_str());
+            return 1;
+        }
+        const SolveOutcome& out = *run;
         std::printf("%s bosphorus: %s in %.2fs%s\n",
                     with_bosphorus ? "with" : "w/o ",
                     out.result == sat::Result::kSat     ? "SAT"

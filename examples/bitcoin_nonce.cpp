@@ -4,13 +4,13 @@
 //
 //   $ ./bitcoin_nonce [k] [rounds]
 //
-// Encodes the SHA-256 circuit as a quadratic ANF, runs Bosphorus + a SAT
-// solver, extracts the nonce from the model and re-hashes to verify it.
+// Encodes the SHA-256 circuit as a quadratic ANF, runs the Engine learning
+// loop + a SAT solver, extracts the nonce from the model and re-hashes to
+// verify it.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/anf_to_cnf.h"
-#include "core/bosphorus.h"
+#include "bosphorus/bosphorus.h"
 #include "crypto/sha256.h"
 #include "sat/solve_cnf.h"
 
@@ -30,19 +30,25 @@ int main(int argc, char** argv) {
                 inst.polys.size(), inst.num_vars);
 
     // Learn facts, then hand the processed CNF to the CMS-like solver.
-    core::Options opt;
-    opt.xl.m_budget = 20;
-    opt.elimlin.m_budget = 20;
-    opt.sat_conflicts_start = 20'000;
-    opt.time_budget_s = 60.0;
-    core::Bosphorus tool(opt);
-    const auto res = tool.process_anf(inst.polys, inst.num_vars);
+    EngineConfig cfg;
+    cfg.xl.m_budget = 20;
+    cfg.elimlin.m_budget = 20;
+    cfg.sat_conflicts_start = 20'000;
+    cfg.time_budget_s = 60.0;
+    Engine engine(cfg);
+    const Result<Report> run =
+        engine.run(Problem::from_anf(inst.polys, inst.num_vars));
+    if (!run.ok()) {
+        std::printf("engine failed: %s\n", run.status().to_string().c_str());
+        return 1;
+    }
+    const Report& res = *run;
 
     std::vector<bool> solution;
-    if (res.status == sat::Result::kSat) {
+    if (res.verdict == sat::Result::kSat) {
         solution = res.solution;
-        std::printf("solved inside the Bosphorus loop (%.2fs)\n", res.seconds);
-    } else if (res.status == sat::Result::kUnsat) {
+        std::printf("solved inside the learning loop (%.2fs)\n", res.seconds);
+    } else if (res.verdict == sat::Result::kUnsat) {
         std::printf("UNSAT -- no nonce exists for this prefix\n");
         return 1;
     } else {

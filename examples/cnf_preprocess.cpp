@@ -1,17 +1,17 @@
-// Using Bosphorus as a CNF preprocessor (paper section III-D): CNF is
-// converted to ANF, GF(2) reasoning learns facts, and the original CNF is
-// returned augmented with the learnt units/equivalences.
+// Using the Engine as a CNF preprocessor (paper section III-D): CNF is
+// converted to ANF, GF(2) reasoning learns facts, and the processed CNF
+// (internal ANF plus every learnt fact) can be handed to any solver.
 //
 //   $ ./cnf_preprocess
 //
 // The demo uses an inconsistent XOR cycle -- trivial for GF(2) elimination,
 // painful for plain resolution -- plus a satisfiable instance to show fact
-// injection.
+// injection. Both feed a bosphorus::Problem through a bosphorus::Engine.
 #include <cstdio>
 #include <sstream>
 
+#include "bosphorus/bosphorus.h"
 #include "cnfgen/generators.h"
-#include "core/bosphorus.h"
 #include "sat/dimacs.h"
 #include "sat/solve_cnf.h"
 
@@ -20,22 +20,25 @@ int main() {
 
     Rng rng(31337);
 
-    // 1. An UNSAT parity instance: Bosphorus refutes it during learning.
+    // 1. An UNSAT parity instance: the engine refutes it during learning.
     {
         const sat::Cnf cnf = cnfgen::xor_cycle(40, /*satisfiable=*/false, rng);
         std::printf("xor cycle (UNSAT): %zu vars, %zu clauses\n",
                     cnf.num_vars, cnf.clauses.size());
-        core::Options opt;
-        opt.xl.m_budget = 20;
-        opt.elimlin.m_budget = 20;
-        core::Bosphorus tool(opt);
-        const auto res = tool.process_cnf(cnf);
-        std::printf("  bosphorus verdict: %s (%.3fs, %zu facts from GF(2) "
+        EngineConfig cfg;
+        cfg.xl.m_budget = 20;
+        cfg.elimlin.m_budget = 20;
+        Engine engine(cfg);
+        const Result<Report> run = engine.run(Problem::from_cnf(cnf));
+        if (!run.ok()) {
+            std::printf("engine failed: %s\n", run.status().to_string().c_str());
+            return 1;
+        }
+        std::printf("  engine verdict: %s (%.3fs, %zu facts from GF(2) "
                     "reasoning)\n",
-                    res.status == sat::Result::kUnsat ? "UNSAT" : "not decided",
-                    res.seconds,
-                    res.facts_from_xl + res.facts_from_elimlin +
-                        res.facts_from_sat);
+                    run->verdict == sat::Result::kUnsat ? "UNSAT"
+                                                        : "not decided",
+                    run->seconds, run->total_facts());
     }
 
     // 2. A satisfiable random 3-SAT instance: preprocess, then solve.
@@ -43,17 +46,23 @@ int main() {
         const sat::Cnf cnf = cnfgen::random_ksat(60, 240, 3, rng);
         std::printf("\nrandom 3-SAT: %zu vars, %zu clauses\n", cnf.num_vars,
                     cnf.clauses.size());
-        core::Options opt;
-        opt.xl.m_budget = 18;
-        opt.elimlin.m_budget = 18;
-        opt.sat_conflicts_start = 2'000;
-        opt.max_iterations = 4;
-        core::Bosphorus tool(opt);
-        const auto res = tool.process_cnf(cnf);
-        std::printf("  learnt facts: xl=%zu elimlin=%zu sat=%zu; "
-                    "fixed=%zu equiv=%zu\n",
-                    res.facts_from_xl, res.facts_from_elimlin,
-                    res.facts_from_sat, res.vars_fixed, res.vars_replaced);
+        EngineConfig cfg;
+        cfg.xl.m_budget = 18;
+        cfg.elimlin.m_budget = 18;
+        cfg.sat_conflicts_start = 2'000;
+        cfg.max_iterations = 4;
+        Engine engine(cfg);
+        const Result<Report> run = engine.run(Problem::from_cnf(cnf));
+        if (!run.ok()) {
+            std::printf("engine failed: %s\n", run.status().to_string().c_str());
+            return 1;
+        }
+        const Report& res = *run;
+        std::printf("  learnt facts:");
+        for (const auto& t : res.techniques)
+            std::printf(" %s=%zu", t.name.c_str(), t.facts);
+        std::printf("; fixed=%zu equiv=%zu\n", res.vars_fixed,
+                    res.vars_replaced);
 
         // The processed CNF (internal ANF + facts) can be written to DIMACS
         // and handed to any external solver.

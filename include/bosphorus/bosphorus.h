@@ -1,0 +1,18 @@
+// Umbrella header for the public Bosphorus library API.
+//
+//   #include <bosphorus/bosphorus.h>
+//
+//   auto problem = bosphorus::Problem::from_anf_file("problem.anf");
+//   if (!problem.ok()) { /* problem.status() says why */ }
+//   bosphorus::Engine engine;
+//   auto report = engine.run(*problem);
+//
+// See README.md for the quickstart and the migration table from the legacy
+// core::Bosphorus / core::solve_*_instance entry points.
+#pragma once
+
+#include "bosphorus/engine.h"    // IWYU pragma: export
+#include "bosphorus/problem.h"   // IWYU pragma: export
+#include "bosphorus/solve.h"     // IWYU pragma: export
+#include "bosphorus/status.h"    // IWYU pragma: export
+#include "bosphorus/technique.h" // IWYU pragma: export

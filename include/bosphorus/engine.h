@@ -1,0 +1,153 @@
+// The Engine facade: the paper's fact-learning workflow (Fig. 1) over a
+// pluggable technique registry.
+//
+// An `Engine` takes a `Problem` (ANF or CNF), materialises the master
+// `AnfSystem`, and repeatedly steps every registered `Technique` in order
+// -- by default XL -> ElimLin -> (Groebner) -> conflict-bounded SAT --
+// until a fixed point, a decision (SAT model found / 1 = 0 derived), the
+// iteration cap, the time budget, or an interrupt. The result is a
+// `Report`: verdict, solution, the processed ANF/CNF augmented with every
+// learnt fact, and per-technique tallies.
+//
+// Hooks: `set_interrupt_callback` is polled before every technique step
+// (return true to stop; the partial report is still produced), and
+// `set_progress_callback` fires after every step with live counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bosphorus/problem.h"
+#include "bosphorus/status.h"
+#include "bosphorus/technique.h"
+#include "core/anf_to_cnf.h"
+
+namespace bosphorus {
+
+/// Loop parameters (paper section IV defaults). This is the type the
+/// legacy `core::Options` name aliases.
+struct EngineConfig {
+    core::XlConfig xl;            ///< D = 1, M = 30, deltaM = 4
+    core::ElimLinConfig elimlin;  ///< shares M = 30
+    core::Anf2CnfConfig conv;     ///< K = 8, L = 5
+
+    unsigned clause_cut = 5;  ///< L' for CNF -> ANF
+
+    /// Optional fourth technique (paper section V): degree-bounded
+    /// Buchberger/F4 Groebner reduction, plugged into the same loop.
+    core::GroebnerConfig groebner;
+    bool use_groebner = false;
+
+    // SAT-solver conflict budget schedule: C from 10,000 to 100,000 in
+    // increments of 10,000 whenever the solver produced no new facts.
+    int64_t sat_conflicts_start = 10'000;
+    int64_t sat_conflicts_max = 100'000;
+    int64_t sat_conflicts_step = 10'000;
+
+    unsigned max_iterations = 64;   ///< safety bound on the outer loop
+    double time_budget_s = 1000.0;  ///< paper: Bosphorus given <= 1000 s
+
+    bool use_xl = true;  ///< ablation switches for the default registry
+    bool use_elimlin = true;
+    bool use_sat = true;
+    bool sat_native_xor = true;  ///< in-loop solver uses native XOR + GJE
+
+    /// Also harvest general (non-equivalence) learnt binary clauses as
+    /// quadratic ANF facts. Off by default: the paper keeps only linear
+    /// facts (value and equivalence assignments).
+    bool harvest_binary_clauses = false;
+
+    uint64_t seed = 1;
+    int verbosity = 0;
+};
+
+/// Live counters handed to the progress callback after every technique step.
+struct Progress {
+    size_t iteration = 0;       ///< outer-loop iteration (0-based)
+    std::string technique;      ///< name of the step that just finished
+    size_t facts_seen = 0;      ///< facts that step produced
+    size_t facts_fresh = 0;     ///< ... of which were new
+    size_t total_facts = 0;     ///< fresh facts across the whole run so far
+    double elapsed_s = 0.0;
+};
+
+/// Return true to stop the run at the next step boundary.
+using InterruptCallback = std::function<bool()>;
+using ProgressCallback = std::function<void(const Progress&)>;
+
+/// Per-technique fact tally, in registry order.
+struct TechniqueTally {
+    std::string name;
+    size_t steps = 0;  ///< step() invocations
+    size_t facts = 0;  ///< fresh facts contributed
+};
+
+/// Everything a run produced.
+struct Report {
+    /// kSat: in-loop solution found; kUnsat: 1 = 0 derived; kUnknown: fixed
+    /// point / budget / interrupt without deciding the instance.
+    sat::Result verdict = sat::Result::kUnknown;
+    bool interrupted = false;  ///< the interrupt callback stopped the run
+    bool timed_out = false;    ///< the time budget expired
+
+    /// Satisfying assignment over the problem's ANF variables iff
+    /// verdict == kSat.
+    std::vector<bool> solution;
+
+    /// The processed system: live equations plus variable-state equations.
+    std::vector<anf::Polynomial> processed_anf;
+    /// CNF of the processed system (includes all learnt facts).
+    core::Anf2CnfResult processed_cnf;
+
+    std::vector<TechniqueTally> techniques;
+    /// Fresh facts contributed by the named technique (0 if absent).
+    size_t facts_from(const std::string& name) const;
+    size_t total_facts() const;
+
+    size_t iterations = 0;
+    size_t vars_fixed = 0;
+    size_t vars_replaced = 0;
+    double seconds = 0.0;
+
+    /// ANF variable count the engine worked over. For CNF problems this
+    /// includes clause-cutting auxiliaries above `num_original_vars`.
+    size_t num_vars = 0;
+    size_t num_original_vars = 0;  ///< the input problem's own variables
+};
+
+class Engine {
+public:
+    /// Builds the default technique registry from the config's ablation
+    /// switches: XL, ElimLin, (Groebner), SAT.
+    explicit Engine(EngineConfig cfg);
+    Engine() : Engine(EngineConfig{}) {}
+
+    /// Append a technique to the registry (runs after the existing ones,
+    /// in every iteration of the loop).
+    Engine& add_technique(std::unique_ptr<Technique> technique);
+    /// Drop all registered techniques (e.g. to build a custom registry).
+    Engine& clear_techniques();
+    std::vector<std::string> technique_names() const;
+
+    Engine& set_interrupt_callback(InterruptCallback cb);
+    Engine& set_progress_callback(ProgressCallback cb);
+
+    /// Run the learning loop on `problem` until fixed point or decision.
+    /// CNF problems are converted to ANF first (section III-D). An error
+    /// Status is returned only for malformed inputs; interrupt and timeout
+    /// still yield a (partial) Report.
+    Result<Report> run(const Problem& problem);
+
+    const EngineConfig& config() const { return cfg_; }
+
+private:
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<Technique>> techniques_;
+    InterruptCallback interrupt_;
+    ProgressCallback progress_;
+};
+
+}  // namespace bosphorus

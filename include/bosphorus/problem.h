@@ -1,0 +1,75 @@
+// The unified problem container of the public API.
+//
+// A `Problem` owns the input instance in either of the two forms Bosphorus
+// accepts -- an ANF polynomial system or a CNF formula -- behind one type
+// (a tagged variant). It supports incremental loading (`add_polynomial`,
+// `add_clause`, `add_xor_clause`; the first addition fixes the kind) and
+// whole-file / whole-string loaders that report failures as `Result`s
+// rather than exceptions. An `Engine` consumes a `Problem` regardless of
+// its kind; CNF problems are converted to ANF internally (section III-D).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "bosphorus/status.h"
+#include "sat/types.h"
+
+namespace bosphorus {
+
+class Problem {
+public:
+    enum class Kind { kEmpty, kAnf, kCnf };
+
+    /// An empty problem; the first add_* call decides its kind.
+    Problem() = default;
+
+    // ---- whole-instance constructors ------------------------------------
+    static Problem from_anf(std::vector<anf::Polynomial> polys,
+                            size_t num_vars);
+    static Problem from_cnf(sat::Cnf cnf);
+
+    /// Parse "x1*x2 + x3 + 1"-style text, one polynomial equation per line.
+    static Result<Problem> from_anf_text(const std::string& text);
+    /// Parse DIMACS CNF text ('x' lines are native XOR constraints).
+    static Result<Problem> from_cnf_text(const std::string& text);
+    static Result<Problem> from_anf_file(const std::string& path);
+    static Result<Problem> from_cnf_file(const std::string& path);
+
+    // ---- incremental loading ---------------------------------------------
+    /// Append a polynomial equation p = 0. Fails on a CNF problem.
+    Status add_polynomial(const anf::Polynomial& p);
+    /// Append a clause (disjunction of literals). Fails on an ANF problem.
+    Status add_clause(std::vector<sat::Lit> lits);
+    /// Append a native XOR constraint (vars XOR to rhs). Fails on ANF.
+    Status add_xor_clause(std::vector<sat::Var> vars, bool rhs);
+
+    /// Grow the variable space by one; returns the new variable's index.
+    /// Works for both kinds (and fixes neither on an empty problem).
+    anf::Var new_var();
+    /// Ensure the variable space covers at least `n` variables.
+    void reserve_vars(size_t n);
+
+    // ---- inspection ------------------------------------------------------
+    Kind kind() const { return kind_; }
+    bool empty() const;
+    size_t num_vars() const;
+    /// Number of constraints: polynomials, or clauses + XOR constraints.
+    size_t num_constraints() const;
+
+    /// Precondition: kind() != Kind::kCnf (an empty problem is a valid,
+    /// empty ANF system).
+    const std::vector<anf::Polynomial>& polynomials() const { return polys_; }
+    /// Precondition: kind() == Kind::kCnf.
+    const sat::Cnf& cnf() const { return cnf_; }
+
+private:
+    Kind kind_ = Kind::kEmpty;
+    std::vector<anf::Polynomial> polys_;  // kAnf
+    sat::Cnf cnf_;                        // kCnf
+    size_t num_vars_ = 0;
+};
+
+}  // namespace bosphorus

@@ -1,0 +1,116 @@
+// Structured error handling for the public Bosphorus API.
+//
+// Library entry points that can fail return a `Status` (or a `Result<T>`,
+// which is a value-or-Status) instead of calling exit(), throwing, or
+// collapsing every failure into a bare bool. Codes classify the failure so
+// callers can branch on it; messages carry the human-readable detail.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bosphorus {
+
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,  ///< caller broke an API precondition
+    kParseError,       ///< malformed ANF / DIMACS text
+    kIoError,          ///< file could not be opened / read / written
+    kInterrupted,      ///< the interrupt callback asked the engine to stop
+    kTimeout,          ///< a time budget expired before completion
+    kUnimplemented,    ///< the requested feature is not available
+    kInternal,         ///< invariant violation inside the library
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+public:
+    /// Default-constructed Status is success.
+    Status() = default;
+
+    static Status error(StatusCode code, std::string message) {
+        assert(code != StatusCode::kOk);
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+    static Status invalid_argument(std::string m) {
+        return error(StatusCode::kInvalidArgument, std::move(m));
+    }
+    static Status parse_error(std::string m) {
+        return error(StatusCode::kParseError, std::move(m));
+    }
+    static Status io_error(std::string m) {
+        return error(StatusCode::kIoError, std::move(m));
+    }
+    static Status interrupted(std::string m) {
+        return error(StatusCode::kInterrupted, std::move(m));
+    }
+    static Status timeout(std::string m) {
+        return error(StatusCode::kTimeout, std::move(m));
+    }
+    static Status internal(std::string m) {
+        return error(StatusCode::kInternal, std::move(m));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /// "OK" or "<code>: <message>".
+    std::string to_string() const;
+
+    bool operator==(const Status& o) const {
+        return code_ == o.code_ && message_ == o.message_;
+    }
+
+private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/// A value of type T, or the Status explaining why it could not be produced.
+template <typename T>
+class Result {
+public:
+    Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+    Result(Status status) : state_(std::move(status)) {  // NOLINT
+        assert(!std::get<Status>(state_).ok() &&
+               "a Result built from a Status must carry an error");
+    }
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+
+    /// The error (StatusCode::kOk when a value is held).
+    Status status() const {
+        return ok() ? Status() : std::get<Status>(state_);
+    }
+
+    /// Precondition: ok().
+    const T& value() const& {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    T& value() & {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    T&& value() && {
+        assert(ok());
+        return std::get<T>(std::move(state_));
+    }
+
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+private:
+    std::variant<T, Status> state_;
+};
+
+}  // namespace bosphorus

@@ -1,0 +1,142 @@
+// The pluggable learning-technique interface of the Engine loop.
+//
+// The paper (section V) stresses that new solving techniques "can be
+// plugged as components into the workflow". The `Engine` realises that: it
+// iterates an *ordered registry* of `Technique` objects, each implementing
+// one `step()` of fact learning against the master ANF. XL, ElimLin, the
+// optional Groebner reduction and the conflict-bounded SAT step are all
+// shipped as such plugins (see the make_*_technique factories); installing
+// a new technique -- a no-op, a parallel worker, a remote call -- requires
+// no change to the engine loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anf/polynomial.h"
+#include "bosphorus/status.h"
+#include "core/anf_to_cnf.h"
+#include "core/elimlin.h"
+#include "core/groebner.h"
+#include "core/xl.h"
+#include "sat/types.h"
+#include "util/rng.h"
+
+namespace bosphorus::core {
+class AnfSystem;
+}  // namespace bosphorus::core
+
+namespace bosphorus {
+
+/// The channel through which a technique feeds learnt facts back into the
+/// master ANF (propagation runs immediately), plus the per-step engine
+/// context a technique may consult: the shared RNG, the remaining time
+/// budget and the outer-loop iteration number.
+class FactSink {
+public:
+    FactSink(core::AnfSystem& sys, Rng& rng, double time_remaining_s,
+             size_t iteration, int verbosity)
+        : sys_(sys),
+          rng_(rng),
+          time_remaining_s_(time_remaining_s),
+          iteration_(iteration),
+          verbosity_(verbosity) {}
+
+    /// Add a learnt polynomial fact (an equation fact = 0). Returns true
+    /// iff the fact was new, i.e. changed the system.
+    bool add(const anf::Polynomial& fact);
+
+    /// Facts offered / facts that were new, so far in this step.
+    size_t seen() const { return seen_; }
+    size_t fresh() const { return fresh_; }
+
+    /// False once the system has derived 1 = 0 (the instance is UNSAT);
+    /// techniques should stop feeding facts at that point.
+    bool okay() const;
+
+    /// The system under processing (read access for techniques that need
+    /// more than `equations()`, e.g. the SAT step's CNF conversion).
+    const core::AnfSystem& system() const { return sys_; }
+
+    Rng& rng() const { return rng_; }
+    double time_remaining_s() const { return time_remaining_s_; }
+    size_t iteration() const { return iteration_; }
+    int verbosity() const { return verbosity_; }
+
+private:
+    core::AnfSystem& sys_;
+    Rng& rng_;
+    double time_remaining_s_;
+    size_t iteration_;
+    int verbosity_;
+    size_t seen_ = 0;
+    size_t fresh_ = 0;
+};
+
+/// What one technique step accomplished.
+struct StepReport {
+    /// Non-OK aborts the whole engine run with this status.
+    Status status;
+
+    /// Facts produced / facts that changed the system. Techniques that
+    /// deposit through the sink can leave these 0; the engine folds the
+    /// sink's own counters in.
+    size_t facts_seen = 0;
+    size_t facts_fresh = 0;
+
+    /// Set when the technique decided the instance outright. kSat requires
+    /// `solution`; kUnknown means "stop the loop without a verdict" (e.g. a
+    /// model was found but failed verification). UNSAT discoveries are
+    /// normally signalled by feeding the fact 1 = 0 through the sink.
+    std::optional<sat::Result> decided;
+    std::vector<bool> solution;  ///< iff decided == kSat
+
+    bool progressed() const { return facts_fresh > 0; }
+};
+
+/// One pluggable learning step. Implementations must be reusable across
+/// `Engine::run` calls: `begin_run` is invoked before each run so stateful
+/// techniques (e.g. the SAT step's conflict-budget schedule) can reset.
+class Technique {
+public:
+    virtual ~Technique() = default;
+
+    /// Stable identifier, e.g. "xl"; used for per-technique fact tallies.
+    virtual std::string name() const = 0;
+
+    /// Run one pass over the system, feeding learnt facts through `sink`.
+    virtual StepReport step(core::AnfSystem& sys, FactSink& sink) = 0;
+
+    /// Called once at the start of every Engine::run.
+    virtual void begin_run() {}
+};
+
+// ---- built-in techniques (the paper's loop, as plugins) -------------------
+
+std::unique_ptr<Technique> make_xl_technique(const core::XlConfig& cfg);
+std::unique_ptr<Technique> make_elimlin_technique(
+    const core::ElimLinConfig& cfg);
+std::unique_ptr<Technique> make_groebner_technique(
+    const core::GroebnerConfig& cfg);
+
+/// Conflict-bounded SAT probing (paper section III-E): converts the current
+/// system to CNF, runs a CDCL solver under a conflict budget, and harvests
+/// learnt units / equivalences as linear ANF facts. The budget escalates
+/// from `conflicts_start` by `conflicts_step` (up to `conflicts_max`) on
+/// steps that learn nothing new.
+struct SatTechniqueConfig {
+    core::Anf2CnfConfig conv;       ///< conversion parameters (K, L)
+    bool native_xor = true;         ///< in-loop solver uses XOR + GJE
+    int64_t conflicts_start = 10'000;
+    int64_t conflicts_max = 100'000;
+    int64_t conflicts_step = 10'000;
+    /// Also harvest general learnt binary clauses as quadratic facts.
+    bool harvest_binary_clauses = false;
+};
+
+std::unique_ptr<Technique> make_sat_technique(const SatTechniqueConfig& cfg);
+
+}  // namespace bosphorus

@@ -1,6 +1,7 @@
 #include "anf/anf_parser.h"
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 
 namespace bosphorus::anf {
@@ -64,12 +65,18 @@ private:
                 ++pos_;
             if (pos_ == start)
                 throw ParseError("expected variable index in: " + text_);
-            const unsigned long idx =
-                std::stoul(text_.substr(start, pos_ - start));
+            unsigned long idx = 0;
+            try {
+                idx = std::stoul(text_.substr(start, pos_ - start));
+            } catch (const std::out_of_range&) {
+                throw ParseError("variable index out of range in: " + text_);
+            }
             if (paren && !eat(')'))
                 throw ParseError("expected ')' in: " + text_);
             if (idx == 0)
                 throw ParseError("variable indices are 1-based in: " + text_);
+            if (idx - 1 > std::numeric_limits<Var>::max())
+                throw ParseError("variable index out of range in: " + text_);
             return Polynomial::variable(static_cast<Var>(idx - 1));
         }
         throw ParseError(std::string("unexpected character '") + c +
@@ -103,13 +110,21 @@ Polynomial parse_polynomial(const std::string& text) {
 ParsedSystem parse_system(std::istream& in) {
     ParsedSystem sys;
     std::string line;
+    size_t line_no = 0;
     while (std::getline(in, line)) {
+        ++line_no;
         // Strip comments and whitespace-only lines.
         if (line.empty()) continue;
         size_t first = line.find_first_not_of(" \t\r");
         if (first == std::string::npos) continue;
         if (line[first] == 'c' || line[first] == '#') continue;
-        Polynomial p = parse_polynomial(line);
+        Polynomial p;
+        try {
+            p = parse_polynomial(line);
+        } catch (const ParseError& e) {
+            throw ParseError("line " + std::to_string(line_no) + ": " +
+                             e.what());
+        }
         for (Var v : p.variables())
             sys.num_vars = std::max(sys.num_vars, static_cast<size_t>(v) + 1);
         sys.polynomials.push_back(std::move(p));
@@ -120,6 +135,27 @@ ParsedSystem parse_system(std::istream& in) {
 ParsedSystem parse_system_from_string(const std::string& text) {
     std::istringstream in(text);
     return parse_system(in);
+}
+
+Result<Polynomial> try_parse_polynomial(const std::string& text) {
+    try {
+        return parse_polynomial(text);
+    } catch (const ParseError& e) {
+        return Status::parse_error(e.what());
+    }
+}
+
+Result<ParsedSystem> try_parse_system(std::istream& in) {
+    try {
+        return parse_system(in);
+    } catch (const ParseError& e) {
+        return Status::parse_error(e.what());
+    }
+}
+
+Result<ParsedSystem> try_parse_system_from_string(const std::string& text) {
+    std::istringstream in(text);
+    return try_parse_system(in);
 }
 
 void write_system(std::ostream& out, const std::vector<Polynomial>& polys) {

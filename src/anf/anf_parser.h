@@ -19,10 +19,12 @@
 #include <vector>
 
 #include "anf/polynomial.h"
+#include "bosphorus/status.h"
 
 namespace bosphorus::anf {
 
-/// Error thrown on malformed ANF text.
+/// Error thrown on malformed ANF text (legacy API; the try_* entry points
+/// report the same failures as a Status instead).
 struct ParseError : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
@@ -39,6 +41,12 @@ struct ParsedSystem {
 
 ParsedSystem parse_system(std::istream& in);
 ParsedSystem parse_system_from_string(const std::string& text);
+
+/// Non-throwing variants: malformed text yields StatusCode::kParseError
+/// with the offending line in the message.
+Result<Polynomial> try_parse_polynomial(const std::string& text);
+Result<ParsedSystem> try_parse_system(std::istream& in);
+Result<ParsedSystem> try_parse_system_from_string(const std::string& text);
 
 /// Write a system in the same format (one polynomial per line).
 void write_system(std::ostream& out, const std::vector<Polynomial>& polys);

@@ -1,0 +1,193 @@
+#include "bosphorus/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/anf_system.h"
+#include "core/cnf_to_anf.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace bosphorus {
+
+using anf::Polynomial;
+
+// ---- FactSink --------------------------------------------------------------
+
+bool FactSink::add(const Polynomial& fact) {
+    ++seen_;
+    if (sys_.add_fact(fact)) {
+        ++fresh_;
+        return true;
+    }
+    return false;
+}
+
+bool FactSink::okay() const { return sys_.okay(); }
+
+// ---- Report ----------------------------------------------------------------
+
+size_t Report::facts_from(const std::string& name) const {
+    size_t total = 0;
+    for (const auto& t : techniques)
+        if (t.name == name) total += t.facts;
+    return total;
+}
+
+size_t Report::total_facts() const {
+    size_t total = 0;
+    for (const auto& t : techniques) total += t.facts;
+    return total;
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
+    if (cfg_.use_xl) add_technique(make_xl_technique(cfg_.xl));
+    if (cfg_.use_elimlin) add_technique(make_elimlin_technique(cfg_.elimlin));
+    if (cfg_.use_groebner)
+        add_technique(make_groebner_technique(cfg_.groebner));
+    if (cfg_.use_sat) {
+        SatTechniqueConfig sat_cfg;
+        sat_cfg.conv = cfg_.conv;
+        sat_cfg.native_xor = cfg_.sat_native_xor;
+        sat_cfg.conflicts_start = cfg_.sat_conflicts_start;
+        sat_cfg.conflicts_max = cfg_.sat_conflicts_max;
+        sat_cfg.conflicts_step = cfg_.sat_conflicts_step;
+        sat_cfg.harvest_binary_clauses = cfg_.harvest_binary_clauses;
+        add_technique(make_sat_technique(sat_cfg));
+    }
+}
+
+Engine& Engine::add_technique(std::unique_ptr<Technique> technique) {
+    techniques_.push_back(std::move(technique));
+    return *this;
+}
+
+Engine& Engine::clear_techniques() {
+    techniques_.clear();
+    return *this;
+}
+
+std::vector<std::string> Engine::technique_names() const {
+    std::vector<std::string> names;
+    names.reserve(techniques_.size());
+    for (const auto& t : techniques_) names.push_back(t->name());
+    return names;
+}
+
+Engine& Engine::set_interrupt_callback(InterruptCallback cb) {
+    interrupt_ = std::move(cb);
+    return *this;
+}
+
+Engine& Engine::set_progress_callback(ProgressCallback cb) {
+    progress_ = std::move(cb);
+    return *this;
+}
+
+Result<Report> Engine::run(const Problem& problem) {
+    Timer timer;
+    Log log{cfg_.verbosity};
+    Rng rng(cfg_.seed);
+    Report rep;
+
+    // Materialise the master ANF (CNF input converts per section III-D).
+    std::vector<Polynomial> polys;
+    size_t num_vars = 0;
+    if (problem.kind() == Problem::Kind::kCnf) {
+        core::Cnf2AnfResult conv =
+            core::cnf_to_anf(problem.cnf(), cfg_.clause_cut);
+        polys = std::move(conv.polys);
+        num_vars = conv.num_vars;
+        rep.num_original_vars = problem.cnf().num_vars;
+    } else {
+        polys = problem.polynomials();
+        num_vars = problem.num_vars();
+        rep.num_original_vars = num_vars;
+    }
+    rep.num_vars = num_vars;
+
+    core::AnfSystem sys(std::move(polys), num_vars);
+
+    rep.techniques.reserve(techniques_.size());
+    for (const auto& t : techniques_) {
+        t->begin_run();
+        rep.techniques.push_back({t->name(), 0, 0});
+    }
+
+    auto out_of_time = [&]() {
+        if (timer.seconds() > cfg_.time_budget_s) {
+            rep.timed_out = true;
+            return true;
+        }
+        return false;
+    };
+
+    bool halted = false;  // a technique decided, or an interrupt arrived
+    for (rep.iterations = 0;
+         sys.okay() && rep.iterations < cfg_.max_iterations && !out_of_time();
+         ++rep.iterations) {
+        bool changed = false;
+
+        for (size_t ti = 0; ti < techniques_.size(); ++ti) {
+            if (!sys.okay() || out_of_time()) break;
+            if (interrupt_ && interrupt_()) {
+                rep.interrupted = true;
+                halted = true;
+                break;
+            }
+
+            Technique& tech = *techniques_[ti];
+            FactSink sink(sys, rng, cfg_.time_budget_s - timer.seconds(),
+                          rep.iterations, cfg_.verbosity);
+            StepReport sr = tech.step(sys, sink);
+            if (!sr.status.ok()) return sr.status;
+
+            const size_t fresh = sink.fresh() + sr.facts_fresh;
+            rep.techniques[ti].steps += 1;
+            rep.techniques[ti].facts += fresh;
+            changed |= fresh > 0;
+
+            if (progress_) {
+                Progress p;
+                p.iteration = rep.iterations;
+                p.technique = rep.techniques[ti].name;
+                p.facts_seen = sink.seen() + sr.facts_seen;
+                p.facts_fresh = fresh;
+                p.total_facts = rep.total_facts();
+                p.elapsed_s = timer.seconds();
+                progress_(p);
+            }
+
+            if (sr.decided) {
+                if (*sr.decided == sat::Result::kSat) {
+                    rep.verdict = sat::Result::kSat;
+                    rep.solution = std::move(sr.solution);
+                }
+                halted = true;
+                break;
+            }
+        }
+
+        if (halted || !changed) break;  // decision/interrupt or fixed point
+    }
+
+    if (!sys.okay()) rep.verdict = sat::Result::kUnsat;
+
+    rep.processed_anf = sys.to_polynomials();
+    core::Anf2CnfConfig out_cfg = cfg_.conv;
+    out_cfg.native_xor = false;  // the emitted CNF is plain DIMACS-compatible
+    rep.processed_cnf = core::anf_to_cnf(rep.processed_anf, num_vars, out_cfg);
+    rep.vars_fixed = sys.num_fixed();
+    rep.vars_replaced = sys.num_replaced();
+    rep.seconds = timer.seconds();
+    log.info(1,
+             "engine: %zu iterations, %zu facts, fixed=%zu replaced=%zu, "
+             "%.2fs",
+             rep.iterations, rep.total_facts(), rep.vars_fixed,
+             rep.vars_replaced, rep.seconds);
+    return rep;
+}
+
+}  // namespace bosphorus

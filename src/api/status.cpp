@@ -1,0 +1,29 @@
+#include "bosphorus/status.h"
+
+namespace bosphorus {
+
+const char* status_code_name(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return "OK";
+        case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+        case StatusCode::kParseError: return "PARSE_ERROR";
+        case StatusCode::kIoError: return "IO_ERROR";
+        case StatusCode::kInterrupted: return "INTERRUPTED";
+        case StatusCode::kTimeout: return "TIMEOUT";
+        case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+        case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "?";
+}
+
+std::string Status::to_string() const {
+    if (ok()) return "OK";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+}  // namespace bosphorus

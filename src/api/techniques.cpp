@@ -1,0 +1,231 @@
+// The four built-in learning techniques, packaged as Engine plugins.
+#include <algorithm>
+#include <array>
+#include <map>
+#include <utility>
+
+#include "bosphorus/technique.h"
+#include "core/anf_system.h"
+#include "sat/solver.h"
+#include "util/log.h"
+
+namespace bosphorus {
+
+using anf::Polynomial;
+using anf::Var;
+
+namespace {
+
+/// Feed a batch of facts through the sink, stopping on contradiction.
+void deposit(FactSink& sink, const std::vector<Polynomial>& facts) {
+    for (const auto& f : facts) {
+        sink.add(f);
+        if (!sink.okay()) break;
+    }
+}
+
+class XlTechnique final : public Technique {
+public:
+    explicit XlTechnique(const core::XlConfig& cfg) : cfg_(cfg) {}
+    std::string name() const override { return "xl"; }
+
+    StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        core::XlStats stats;
+        const auto facts =
+            core::run_xl(sys.equations(), cfg_, sink.rng(), &stats);
+        deposit(sink, facts);
+        Log{sink.verbosity()}.info(
+            2, "iter %zu XL: %zu rows, %zu cols, %zu facts (%zu new)",
+            sink.iteration(), stats.expanded_rows, stats.columns, facts.size(),
+            sink.fresh());
+        return {};
+    }
+
+private:
+    core::XlConfig cfg_;
+};
+
+class ElimLinTechnique final : public Technique {
+public:
+    explicit ElimLinTechnique(const core::ElimLinConfig& cfg) : cfg_(cfg) {}
+    std::string name() const override { return "elimlin"; }
+
+    StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        core::ElimLinStats stats;
+        const auto facts =
+            core::run_elimlin(sys.equations(), cfg_, sink.rng(), &stats);
+        deposit(sink, facts);
+        Log{sink.verbosity()}.info(
+            2, "iter %zu ElimLin: %zu iters, %zu facts (%zu new)",
+            sink.iteration(), stats.iterations, facts.size(), sink.fresh());
+        return {};
+    }
+
+private:
+    core::ElimLinConfig cfg_;
+};
+
+class GroebnerTechnique final : public Technique {
+public:
+    explicit GroebnerTechnique(const core::GroebnerConfig& cfg) : cfg_(cfg) {}
+    std::string name() const override { return "groebner"; }
+
+    StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        core::GroebnerStats stats;
+        const auto facts =
+            core::run_groebner(sys.equations(), cfg_, sink.rng(), &stats);
+        deposit(sink, facts);
+        Log{sink.verbosity()}.info(
+            2, "iter %zu Groebner: %zu spairs, %zu facts (%zu new)",
+            sink.iteration(), stats.spairs_formed, facts.size(), sink.fresh());
+        return {};
+    }
+
+private:
+    core::GroebnerConfig cfg_;
+};
+
+/// Learnt binary clauses pair up into equivalences: (a|b) & (!a|!b) means
+/// a == !b, and (a|!b) & (!a|b) means a == b. Returns linear polynomials.
+std::vector<Polynomial> equivalences_from_binaries(
+    const std::vector<std::array<sat::Lit, 2>>& binaries, size_t num_anf_vars) {
+    // Key: unordered variable pair; value: bitmask of seen sign patterns.
+    std::map<std::pair<sat::Var, sat::Var>, unsigned> seen;
+    for (const auto& b : binaries) {
+        sat::Lit l0 = b[0], l1 = b[1];
+        if (l0.var() > l1.var()) std::swap(l0, l1);
+        if (l0.var() >= num_anf_vars || l1.var() >= num_anf_vars) continue;
+        if (l0.var() == l1.var()) continue;
+        const unsigned pattern =
+            (l0.sign() ? 1u : 0u) | (l1.sign() ? 2u : 0u);
+        seen[{l0.var(), l1.var()}] |= 1u << pattern;
+    }
+    std::vector<Polynomial> out;
+    for (const auto& [vars, mask] : seen) {
+        const auto [a, b] = vars;
+        // patterns: 0 = (a|b), 1 = (!a|b), 2 = (a|!b), 3 = (!a|!b)
+        const bool anti = (mask & (1u << 0)) && (mask & (1u << 3));
+        const bool equal = (mask & (1u << 1)) && (mask & (1u << 2));
+        if (anti) {
+            // a + b + 1 = 0
+            out.push_back(Polynomial::variable(a) + Polynomial::variable(b) +
+                          Polynomial::constant(true));
+        }
+        if (equal) {
+            out.push_back(Polynomial::variable(a) + Polynomial::variable(b));
+        }
+    }
+    return out;
+}
+
+class SatTechnique final : public Technique {
+public:
+    explicit SatTechnique(const SatTechniqueConfig& cfg)
+        : cfg_(cfg), conflict_budget_(cfg.conflicts_start) {}
+    std::string name() const override { return "sat"; }
+
+    void begin_run() override { conflict_budget_ = cfg_.conflicts_start; }
+
+    StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        StepReport report;
+
+        core::Anf2CnfConfig conv_cfg = cfg_.conv;
+        conv_cfg.native_xor = cfg_.native_xor;
+        const size_t num_vars = sys.num_vars();
+        const core::Anf2CnfResult conv =
+            core::anf_to_cnf(sys.to_polynomials(), num_vars, conv_cfg);
+
+        sat::Solver::Config scfg;
+        scfg.enable_xor = cfg_.native_xor;
+        sat::Solver solver(scfg);
+        const double remaining = std::max(0.1, sink.time_remaining_s());
+        sat::Result r = sat::Result::kUnsat;
+        if (solver.load(conv.cnf)) {
+            r = solver.solve(conflict_budget_, remaining);
+        }
+
+        if (r == sat::Result::kUnsat || !solver.okay()) {
+            // The learnt fact is the contradictory equation 1 = 0.
+            sink.add(Polynomial::constant(true));
+            return report;
+        }
+        if (r == sat::Result::kSat) {
+            // A full solution: report it and stop the loop. It is not used
+            // to simplify the ANF (it may not be unique).
+            std::vector<bool> assignment(num_vars, false);
+            for (Var v = 0; v < num_vars; ++v)
+                assignment[v] = solver.model()[v] == sat::LBool::kTrue;
+            if (sys.check_solution(assignment)) {
+                report.decided = sat::Result::kSat;
+                report.solution = std::move(assignment);
+            } else {
+                // Model fails verification: halt without a verdict.
+                report.decided = sat::Result::kUnknown;
+            }
+            return report;
+        }
+
+        // Undecided within the conflict budget: extract linear equations
+        // from the learnt unit and binary clauses.
+        for (const sat::Lit u : solver.learnt_units()) {
+            if (u.var() >= conv.num_anf_vars) continue;
+            // u true: var = !sign  ->  polynomial x (+ 1).
+            Polynomial f = Polynomial::variable(u.var());
+            if (!u.sign()) f += Polynomial::constant(true);
+            sink.add(f);
+            if (!sink.okay()) return report;
+        }
+        deposit(sink, equivalences_from_binaries(solver.learnt_binaries(),
+                                                 conv.num_anf_vars));
+        if (!sink.okay()) return report;
+        if (cfg_.harvest_binary_clauses) {
+            for (const auto& b : solver.learnt_binaries()) {
+                if (b[0].var() >= conv.num_anf_vars ||
+                    b[1].var() >= conv.num_anf_vars)
+                    continue;
+                // (l0 | l1) = 0 in ANF: product of negated literals.
+                Polynomial f0 = Polynomial::variable(b[0].var());
+                if (!b[0].sign()) f0 += Polynomial::constant(true);
+                Polynomial f1 = Polynomial::variable(b[1].var());
+                if (!b[1].sign()) f1 += Polynomial::constant(true);
+                sink.add(f0 * f1);
+                if (!sink.okay()) return report;
+            }
+        }
+        if (sink.fresh() == 0) {
+            // No new facts: raise the conflict budget (section IV).
+            conflict_budget_ = std::min(cfg_.conflicts_max,
+                                        conflict_budget_ + cfg_.conflicts_step);
+        }
+        Log{sink.verbosity()}.info(
+            2, "iter %zu SAT: budget %lld, %zu new facts", sink.iteration(),
+            static_cast<long long>(conflict_budget_), sink.fresh());
+        return report;
+    }
+
+private:
+    SatTechniqueConfig cfg_;
+    int64_t conflict_budget_;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_xl_technique(const core::XlConfig& cfg) {
+    return std::make_unique<XlTechnique>(cfg);
+}
+
+std::unique_ptr<Technique> make_elimlin_technique(
+    const core::ElimLinConfig& cfg) {
+    return std::make_unique<ElimLinTechnique>(cfg);
+}
+
+std::unique_ptr<Technique> make_groebner_technique(
+    const core::GroebnerConfig& cfg) {
+    return std::make_unique<GroebnerTechnique>(cfg);
+}
+
+std::unique_ptr<Technique> make_sat_technique(const SatTechniqueConfig& cfg) {
+    return std::make_unique<SatTechnique>(cfg);
+}
+
+}  // namespace bosphorus

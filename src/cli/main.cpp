@@ -7,6 +7,10 @@
 // Options mirror the paper's parameters: -M, -D (xl degree), -K (karnaugh),
 // -L (xor cut), --lp (clause cut), -C (conflict budget start), --maxiters,
 // --timeout, --seed, -v.
+//
+// Built on the library facade: the input file loads into a
+// bosphorus::Problem, the learning loop is a bosphorus::Engine, and all
+// failures arrive as structured Status values instead of exceptions.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -14,10 +18,9 @@
 #include <string>
 
 #include "anf/anf_parser.h"
-#include "core/bosphorus.h"
-#include "core/cnf_to_anf.h"
-#include "core/pipeline.h"
+#include "bosphorus/bosphorus.h"
 #include "sat/dimacs.h"
+#include "sat/solve_cnf.h"
 
 namespace {
 
@@ -52,13 +55,40 @@ void usage() {
         "  -v N            verbosity (0)\n");
 }
 
+int fail(const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 2;
+}
+
+void print_model(const std::vector<bool>& solution, size_t num_vars) {
+    std::printf("v");
+    for (size_t v = 0; v < num_vars && v < solution.size(); ++v)
+        std::printf(" %s%zu", solution[v] ? "" : "-", v + 1);
+    std::printf(" 0\n");
+}
+
+int run(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Library failures arrive as Status values; this backstop catches what
+    // does not (std::stoul on malformed numeric options, bad_alloc, ...).
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 2;
+    }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
     std::string anf_in, cnf_in, cnf_out, anf_out;
-    std::string solver_name = "cms";
-    bool solve = false;
-    core::Options opt;
+    std::string solver_name = sat::kDefaultSolverName;
+    bool solve_after = false;
+    EngineConfig opt;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -73,7 +103,7 @@ int main(int argc, char** argv) {
         else if (a == "--cnfin") cnf_in = next();
         else if (a == "--cnf") cnf_out = next();
         else if (a == "--anfout") anf_out = next();
-        else if (a == "--solve") solve = true;
+        else if (a == "--solve") solve_after = true;
         else if (a == "--solver") solver_name = next();
         else if (a == "-M") {
             const unsigned m = std::stoul(next());
@@ -104,82 +134,61 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    core::Bosphorus tool(opt);
-    core::BosphorusResult res;
-    size_t problem_vars = 0;
+    const auto solver_kind = sat::solver_kind_from_name(solver_name);
+    if (!solver_kind.ok()) return fail(solver_kind.status());
 
-    try {
-        if (!anf_in.empty()) {
-            std::ifstream in(anf_in);
-            if (!in) {
-                std::fprintf(stderr, "cannot open %s\n", anf_in.c_str());
-                return 2;
-            }
-            const anf::ParsedSystem sys = anf::parse_system(in);
-            problem_vars = sys.num_vars;
-            res = tool.process_anf(sys.polynomials, sys.num_vars);
-        } else {
-            std::ifstream in(cnf_in);
-            if (!in) {
-                std::fprintf(stderr, "cannot open %s\n", cnf_in.c_str());
-                return 2;
-            }
-            const sat::Cnf cnf = sat::read_dimacs(in);
-            problem_vars = cnf.num_vars;
-            res = tool.process_cnf(cnf);
-        }
-    } catch (const std::exception& ex) {
-        std::fprintf(stderr, "error: %s\n", ex.what());
-        return 2;
-    }
+    Result<Problem> problem = anf_in.empty()
+                                  ? Problem::from_cnf_file(cnf_in)
+                                  : Problem::from_anf_file(anf_in);
+    if (!problem.ok()) return fail(problem.status());
+    const size_t problem_vars = problem->num_vars();
 
-    std::fprintf(stderr,
-                 "c bosphorus: %zu iterations, %.2fs; facts: xl=%zu "
-                 "elimlin=%zu sat=%zu; vars fixed=%zu replaced=%zu\n",
-                 res.iterations, res.seconds, res.facts_from_xl,
-                 res.facts_from_elimlin, res.facts_from_sat, res.vars_fixed,
+    Engine engine(opt);
+    const Result<Report> run = engine.run(*problem);
+    if (!run.ok()) return fail(run.status());
+    const Report& res = *run;
+
+    std::fprintf(stderr, "c engine: %zu iterations, %.2fs; facts:",
+                 res.iterations, res.seconds);
+    for (const auto& t : res.techniques)
+        std::fprintf(stderr, " %s=%zu", t.name.c_str(), t.facts);
+    std::fprintf(stderr, "; vars fixed=%zu replaced=%zu\n", res.vars_fixed,
                  res.vars_replaced);
 
     if (!anf_out.empty()) {
         std::ofstream out(anf_out);
+        if (!out) return fail(Status::io_error("cannot write " + anf_out));
         anf::write_system(out, res.processed_anf);
     }
     if (!cnf_out.empty()) {
         std::ofstream out(cnf_out);
+        if (!out) return fail(Status::io_error("cannot write " + cnf_out));
         sat::write_dimacs(out, res.processed_cnf.cnf);
     }
 
-    if (res.status == sat::Result::kUnsat) {
+    if (res.verdict == sat::Result::kUnsat) {
         std::puts("s UNSATISFIABLE");
         return 20;
     }
-    if (res.status == sat::Result::kSat) {
+    if (res.verdict == sat::Result::kSat) {
         std::puts("s SATISFIABLE");
-        std::printf("v");
-        for (size_t v = 0; v < problem_vars; ++v)
-            std::printf(" %s%zu", res.solution[v] ? "" : "-", v + 1);
-        std::printf(" 0\n");
+        print_model(res.solution, problem_vars);
         return 10;
     }
 
-    if (solve) {
-        sat::SolverKind kind = sat::SolverKind::kCmsLike;
-        if (solver_name == "minisat") kind = sat::SolverKind::kMinisatLike;
-        else if (solver_name == "lingeling")
-            kind = sat::SolverKind::kLingelingLike;
-        const sat::SolveOutcome so = sat::solve_cnf(res.processed_cnf.cnf, kind);
+    if (solve_after) {
+        const sat::SolveOutcome so =
+            sat::solve_cnf(res.processed_cnf.cnf, *solver_kind);
         if (so.result == sat::Result::kUnsat) {
             std::puts("s UNSATISFIABLE");
             return 20;
         }
         if (so.result == sat::Result::kSat) {
             std::puts("s SATISFIABLE");
-            std::printf("v");
-            for (size_t v = 0; v < problem_vars && v < so.model.size(); ++v)
-                std::printf(" %s%zu",
-                            so.model[v] == sat::LBool::kTrue ? "" : "-",
-                            v + 1);
-            std::printf(" 0\n");
+            std::vector<bool> solution(so.model.size());
+            for (size_t v = 0; v < so.model.size(); ++v)
+                solution[v] = so.model[v] == sat::LBool::kTrue;
+            print_model(solution, problem_vars);
             return 10;
         }
         std::puts("s UNKNOWN");
@@ -189,3 +198,5 @@ int main(int argc, char** argv) {
     std::puts("s UNKNOWN");
     return 0;
 }
+
+}  // namespace

@@ -1,224 +1,51 @@
 #include "core/bosphorus.h"
 
-#include <algorithm>
-#include <map>
-
-#include "core/cnf_to_anf.h"
-#include "sat/solver.h"
-#include "util/timer.h"
+#include <cstdio>
+#include <utility>
 
 namespace bosphorus::core {
 
-using anf::Monomial;
-using anf::Polynomial;
-using anf::Var;
+BosphorusResult to_bosphorus_result(::bosphorus::Report report) {
+    BosphorusResult res;
+    res.status = report.verdict;
+    res.solution = std::move(report.solution);
+    res.processed_anf = std::move(report.processed_anf);
+    res.processed_cnf = std::move(report.processed_cnf);
+    res.iterations = report.iterations;
+    res.facts_from_xl = report.facts_from("xl");
+    res.facts_from_elimlin = report.facts_from("elimlin");
+    res.facts_from_groebner = report.facts_from("groebner");
+    res.facts_from_sat = report.facts_from("sat");
+    res.vars_fixed = report.vars_fixed;
+    res.vars_replaced = report.vars_replaced;
+    res.seconds = report.seconds;
+    return res;
+}
 
 namespace {
 
-/// Learnt binary clauses pair up into equivalences: (a|b) & (!a|!b) means
-/// a == !b, and (a|!b) & (!a|b) means a == b. Returns linear polynomials.
-std::vector<Polynomial> equivalences_from_binaries(
-    const std::vector<std::array<sat::Lit, 2>>& binaries, size_t num_anf_vars) {
-    // Key: unordered variable pair; value: bitmask of seen sign patterns.
-    std::map<std::pair<sat::Var, sat::Var>, unsigned> seen;
-    for (const auto& b : binaries) {
-        sat::Lit l0 = b[0], l1 = b[1];
-        if (l0.var() > l1.var()) std::swap(l0, l1);
-        if (l0.var() >= num_anf_vars || l1.var() >= num_anf_vars) continue;
-        if (l0.var() == l1.var()) continue;
-        const unsigned pattern =
-            (l0.sign() ? 1u : 0u) | (l1.sign() ? 2u : 0u);
-        seen[{l0.var(), l1.var()}] |= 1u << pattern;
+/// The legacy API has no error channel: a failed run degrades to the
+/// kUnknown verdict (built-in techniques never fail, so this is latent).
+BosphorusResult from_run(::bosphorus::Result<::bosphorus::Report> run) {
+    if (!run.ok()) {
+        std::fprintf(stderr, "c bosphorus: engine error: %s\n",
+                     run.status().to_string().c_str());
+        return BosphorusResult{};
     }
-    std::vector<Polynomial> out;
-    for (const auto& [vars, mask] : seen) {
-        const auto [a, b] = vars;
-        // patterns: 0 = (a|b), 1 = (!a|b), 2 = (a|!b), 3 = (!a|!b)
-        const bool anti = (mask & (1u << 0)) && (mask & (1u << 3));
-        const bool equal = (mask & (1u << 1)) && (mask & (1u << 2));
-        if (anti) {
-            // a + b + 1 = 0
-            out.push_back(Polynomial::variable(a) + Polynomial::variable(b) +
-                          Polynomial::constant(true));
-        }
-        if (equal) {
-            out.push_back(Polynomial::variable(a) + Polynomial::variable(b));
-        }
-    }
-    return out;
+    return to_bosphorus_result(std::move(*run));
 }
 
 }  // namespace
 
-BosphorusResult Bosphorus::process_anf(std::vector<Polynomial> polys,
+BosphorusResult Bosphorus::process_anf(std::vector<anf::Polynomial> polys,
                                        size_t num_vars) {
-    Timer timer;
-    Log log{opt_.verbosity};
-    Rng rng(opt_.seed);
-    BosphorusResult res;
-
-    AnfSystem sys(std::move(polys), num_vars);
-
-    int64_t conflict_budget = opt_.sat_conflicts_start;
-
-    auto out_of_time = [&]() { return timer.seconds() > opt_.time_budget_s; };
-
-    for (res.iterations = 0;
-         sys.okay() && res.iterations < opt_.max_iterations && !out_of_time();
-         ++res.iterations) {
-        bool changed = false;
-
-        // ---- XL --------------------------------------------------------
-        if (opt_.use_xl && sys.okay() && !out_of_time()) {
-            XlStats xs;
-            const auto facts = run_xl(sys.equations(), opt_.xl, rng, &xs);
-            size_t fresh = 0;
-            for (const auto& f : facts) {
-                if (sys.add_fact(f)) ++fresh;
-                if (!sys.okay()) break;
-            }
-            res.facts_from_xl += fresh;
-            changed |= fresh > 0;
-            log.info(2, "iter %zu XL: %zu rows, %zu cols, %zu facts (%zu new)",
-                     res.iterations, xs.expanded_rows, xs.columns, facts.size(),
-                     fresh);
-        }
-
-        // ---- ElimLin ----------------------------------------------------
-        if (opt_.use_elimlin && sys.okay() && !out_of_time()) {
-            ElimLinStats es;
-            const auto facts =
-                run_elimlin(sys.equations(), opt_.elimlin, rng, &es);
-            size_t fresh = 0;
-            for (const auto& f : facts) {
-                if (sys.add_fact(f)) ++fresh;
-                if (!sys.okay()) break;
-            }
-            res.facts_from_elimlin += fresh;
-            changed |= fresh > 0;
-            log.info(2, "iter %zu ElimLin: %zu iters, %zu facts (%zu new)",
-                     res.iterations, es.iterations, facts.size(), fresh);
-        }
-
-        // ---- optional Groebner (Buchberger/F4) step -----------------------
-        if (opt_.use_groebner && sys.okay() && !out_of_time()) {
-            GroebnerStats gs;
-            const auto facts =
-                run_groebner(sys.equations(), opt_.groebner, rng, &gs);
-            size_t fresh = 0;
-            for (const auto& f : facts) {
-                if (sys.add_fact(f)) ++fresh;
-                if (!sys.okay()) break;
-            }
-            res.facts_from_groebner += fresh;
-            changed |= fresh > 0;
-            log.info(2, "iter %zu Groebner: %zu spairs, %zu facts (%zu new)",
-                     res.iterations, gs.spairs_formed, facts.size(), fresh);
-        }
-
-        // ---- conflict-bounded SAT ---------------------------------------
-        if (opt_.use_sat && sys.okay() && !out_of_time()) {
-            Anf2CnfConfig conv_cfg = opt_.conv;
-            conv_cfg.native_xor = opt_.sat_native_xor;
-            const Anf2CnfResult conv =
-                anf_to_cnf(sys.to_polynomials(), num_vars, conv_cfg);
-
-            sat::Solver::Config scfg;
-            scfg.enable_xor = opt_.sat_native_xor;
-            sat::Solver solver(scfg);
-            const double remaining =
-                std::max(0.1, opt_.time_budget_s - timer.seconds());
-            sat::Result r = sat::Result::kUnsat;
-            if (solver.load(conv.cnf)) {
-                r = solver.solve(conflict_budget, remaining);
-            }
-
-            if (r == sat::Result::kUnsat || !solver.okay()) {
-                // The learnt fact is the contradictory equation 1 = 0.
-                sys.add_fact(Polynomial::constant(true));
-                ++res.facts_from_sat;
-                changed = true;
-            } else if (r == sat::Result::kSat) {
-                // A full solution: store it and exit the loop. It is not
-                // used to simplify the ANF (it may not be unique).
-                std::vector<bool> assignment(num_vars, false);
-                for (Var v = 0; v < num_vars; ++v)
-                    assignment[v] = solver.model()[v] == sat::LBool::kTrue;
-                if (sys.check_solution(assignment)) {
-                    res.status = sat::Result::kSat;
-                    res.solution = std::move(assignment);
-                }
-                break;
-            } else {
-                // Undecided within the conflict budget: extract linear
-                // equations from the learnt unit and binary clauses.
-                size_t fresh = 0;
-                for (const sat::Lit u : solver.learnt_units()) {
-                    if (u.var() >= conv.num_anf_vars) continue;
-                    // u true: var = !sign  ->  polynomial x (+ 1).
-                    Polynomial f = Polynomial::variable(u.var());
-                    if (!u.sign()) f += Polynomial::constant(true);
-                    if (sys.add_fact(f)) ++fresh;
-                    if (!sys.okay()) break;
-                }
-                for (const auto& eq : equivalences_from_binaries(
-                         solver.learnt_binaries(), conv.num_anf_vars)) {
-                    if (sys.add_fact(eq)) ++fresh;
-                    if (!sys.okay()) break;
-                }
-                if (opt_.harvest_binary_clauses) {
-                    for (const auto& b : solver.learnt_binaries()) {
-                        if (b[0].var() >= conv.num_anf_vars ||
-                            b[1].var() >= conv.num_anf_vars)
-                            continue;
-                        // (l0 | l1) = 0 in ANF: product of negated literals.
-                        Polynomial f0 = Polynomial::variable(b[0].var());
-                        if (!b[0].sign()) f0 += Polynomial::constant(true);
-                        Polynomial f1 = Polynomial::variable(b[1].var());
-                        if (!b[1].sign()) f1 += Polynomial::constant(true);
-                        if (sys.add_fact(f0 * f1)) ++fresh;
-                        if (!sys.okay()) break;
-                    }
-                }
-                res.facts_from_sat += fresh;
-                if (fresh > 0) {
-                    changed = true;
-                } else {
-                    // No new facts: raise the conflict budget (section IV).
-                    conflict_budget = std::min(
-                        opt_.sat_conflicts_max,
-                        conflict_budget + opt_.sat_conflicts_step);
-                }
-                log.info(2, "iter %zu SAT: budget %lld, %zu new facts",
-                         res.iterations,
-                         static_cast<long long>(conflict_budget), fresh);
-            }
-        }
-
-        if (!changed) break;  // fixed point
-    }
-
-    if (!sys.okay()) res.status = sat::Result::kUnsat;
-
-    res.processed_anf = sys.to_polynomials();
-    Anf2CnfConfig out_cfg = opt_.conv;
-    out_cfg.native_xor = false;  // the emitted CNF is plain DIMACS-compatible
-    res.processed_cnf = anf_to_cnf(res.processed_anf, num_vars, out_cfg);
-    res.vars_fixed = sys.num_fixed();
-    res.vars_replaced = sys.num_replaced();
-    res.seconds = timer.seconds();
-    log.info(1,
-             "bosphorus: %zu iterations, facts xl=%zu elimlin=%zu sat=%zu, "
-             "fixed=%zu replaced=%zu, %.2fs",
-             res.iterations, res.facts_from_xl, res.facts_from_elimlin,
-             res.facts_from_sat, res.vars_fixed, res.vars_replaced,
-             res.seconds);
-    return res;
+    return from_run(::bosphorus::Engine(opt_).run(
+        ::bosphorus::Problem::from_anf(std::move(polys), num_vars)));
 }
 
 BosphorusResult Bosphorus::process_cnf(const sat::Cnf& cnf) {
-    const Cnf2AnfResult conv = cnf_to_anf(cnf, opt_.clause_cut);
-    return process_anf(conv.polys, conv.num_vars);
+    return from_run(
+        ::bosphorus::Engine(opt_).run(::bosphorus::Problem::from_cnf(cnf)));
 }
 
 }  // namespace bosphorus::core

@@ -1,61 +1,24 @@
-// The Bosphorus workflow (paper Fig. 1 and section III-A).
+// Legacy entry point for the Bosphorus workflow (paper Fig. 1).
 //
-// Takes a problem in ANF (or CNF, via cnf_to_anf) and runs the
-// XL -> ElimLin -> conflict-bounded-SAT fact-learning loop until the fixed
-// point where no step produces a new fact. ANF propagation runs on the
-// master copy whenever learnt facts arrive. The output is a processed ANF
-// and CNF augmented with everything learnt; if the in-loop SAT solver finds
-// a satisfying assignment the loop exits early with the solution, and if any
-// step derives 1 = 0 the instance is UNSAT.
+// `Bosphorus` is now a thin adapter over the public library facade: each
+// process_* call is a one-liner building a `bosphorus::Problem` and running
+// a `bosphorus::Engine` (see include/bosphorus/). New code should use the
+// facade directly -- it exposes the pluggable technique registry, structured
+// errors, and the interrupt/progress hooks; this header remains so existing
+// callers keep compiling. `Options` is an alias of `EngineConfig`.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "core/anf_system.h"
+#include "bosphorus/engine.h"
+#include "bosphorus/problem.h"
 #include "core/anf_to_cnf.h"
-#include "core/elimlin.h"
-#include "core/groebner.h"
-#include "core/xl.h"
 #include "sat/types.h"
-#include "util/log.h"
 
 namespace bosphorus::core {
 
-struct Options {
-    XlConfig xl;             ///< D = 1, M = 30, deltaM = 4 (paper section IV)
-    ElimLinConfig elimlin;   ///< shares M = 30
-    Anf2CnfConfig conv;      ///< K = 8, L = 5
-
-    unsigned clause_cut = 5;  ///< L' for CNF -> ANF
-
-    /// Optional fourth technique (paper section V): degree-bounded
-    /// Buchberger/F4 Groebner reduction, plugged into the same loop.
-    GroebnerConfig groebner;
-    bool use_groebner = false;
-
-    // SAT-solver conflict budget schedule: C from 10,000 to 100,000 in
-    // increments of 10,000 whenever the solver produced no new facts.
-    int64_t sat_conflicts_start = 10'000;
-    int64_t sat_conflicts_max = 100'000;
-    int64_t sat_conflicts_step = 10'000;
-
-    unsigned max_iterations = 64;   ///< safety bound on the outer loop
-    double time_budget_s = 1000.0;  ///< paper: Bosphorus given <= 1000 s
-
-    bool use_xl = true;        ///< ablation switches
-    bool use_elimlin = true;
-    bool use_sat = true;
-    bool sat_native_xor = true;  ///< in-loop solver uses native XOR + GJE
-
-    /// Also harvest general (non-equivalence) learnt binary clauses as
-    /// quadratic ANF facts. Off by default: the paper keeps only linear
-    /// facts (value and equivalence assignments).
-    bool harvest_binary_clauses = false;
-
-    uint64_t seed = 1;
-    int verbosity = 0;
-};
+using Options = ::bosphorus::EngineConfig;
 
 struct BosphorusResult {
     /// kSat: in-loop solution found; kUnsat: 1 = 0 derived; kUnknown: the
@@ -80,6 +43,9 @@ struct BosphorusResult {
     size_t vars_replaced = 0;
     double seconds = 0.0;
 };
+
+/// Map an Engine report onto the legacy result layout.
+BosphorusResult to_bosphorus_result(::bosphorus::Report report);
 
 class Bosphorus {
 public:

@@ -1,157 +1,69 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
-
-#include "core/cnf_to_anf.h"
-#include "util/timer.h"
+#include <cstdio>
 
 namespace bosphorus::core {
 
-using anf::Polynomial;
+using ::bosphorus::Problem;
+
+::bosphorus::SolveConfig to_solve_config(const PipelineConfig& cfg) {
+    ::bosphorus::SolveConfig scfg;
+    scfg.engine = cfg.bosphorus;
+    scfg.preprocess = cfg.use_bosphorus;
+    scfg.solver = cfg.solver;
+    scfg.timeout_s = cfg.timeout_s;
+    scfg.engine_budget_s = cfg.bosphorus_budget_s;
+    return scfg;
+}
+
+PipelineOutcome to_pipeline_outcome(const ::bosphorus::SolveOutcome& out) {
+    PipelineOutcome po;
+    po.result = out.result;
+    po.seconds = out.seconds;
+    po.bosphorus_seconds = out.engine_seconds;
+    po.solved_in_loop = out.solved_in_loop;
+    po.model_verified = out.model_verified;
+    po.solver_stats = out.solver_stats;
+    return po;
+}
 
 namespace {
 
-/// Check a CNF model against the original ANF equations.
-bool verify_anf_model(const std::vector<Polynomial>& polys, size_t num_vars,
-                      const std::vector<sat::LBool>& model) {
-    std::vector<bool> assignment(num_vars, false);
-    for (size_t v = 0; v < num_vars && v < model.size(); ++v)
-        assignment[v] = model[v] == sat::LBool::kTrue;
-    for (const auto& p : polys) {
-        if (p.evaluate(assignment)) return false;
+/// The legacy API has no error channel: a failed solve degrades to the
+/// kUnknown outcome (the facade only errors on malformed input).
+PipelineOutcome from_solve(::bosphorus::Result<::bosphorus::SolveOutcome> run) {
+    if (!run.ok()) {
+        std::fprintf(stderr, "c pipeline: solve error: %s\n",
+                     run.status().to_string().c_str());
+        return PipelineOutcome{};
     }
-    return true;
+    return to_pipeline_outcome(*run);
 }
 
 }  // namespace
 
-PipelineOutcome solve_anf_instance(const std::vector<Polynomial>& polys,
+PipelineOutcome solve_anf_instance(const std::vector<anf::Polynomial>& polys,
                                    size_t num_vars,
                                    const PipelineConfig& cfg) {
-    Timer timer;
-    PipelineOutcome out;
-
-    std::vector<Polynomial> to_convert = polys;
-    size_t cnf_anf_vars = num_vars;
-
-    if (cfg.use_bosphorus) {
-        Options opt = cfg.bosphorus;
-        opt.time_budget_s =
-            std::min(cfg.bosphorus_budget_s, cfg.timeout_s);
-        Bosphorus tool(opt);
-        BosphorusResult bres = tool.process_anf(polys, num_vars);
-        out.bosphorus_seconds = bres.seconds;
-        if (bres.status == sat::Result::kUnsat) {
-            out.result = sat::Result::kUnsat;
-            out.solved_in_loop = true;
-            out.seconds = timer.seconds();
-            return out;
-        }
-        if (bres.status == sat::Result::kSat) {
-            out.result = sat::Result::kSat;
-            out.solved_in_loop = true;
-            out.model_verified = true;  // checked inside the loop
-            out.seconds = timer.seconds();
-            return out;
-        }
-        to_convert = std::move(bres.processed_anf);
-        cnf_anf_vars = num_vars;
-    }
-
-    Anf2CnfConfig conv_cfg = cfg.use_bosphorus
-                                 ? cfg.bosphorus.conv
-                                 : Anf2CnfConfig{};
-    conv_cfg.native_xor = false;  // back-end solvers receive plain CNF
-    const Anf2CnfResult conv = anf_to_cnf(to_convert, cnf_anf_vars, conv_cfg);
-
-    const double remaining = std::max(0.1, cfg.timeout_s - timer.seconds());
-    const sat::SolveOutcome so = sat::solve_cnf(conv.cnf, cfg.solver,
-                                                remaining);
-    out.result = so.result;
-    out.solver_stats = so.stats;
-    if (so.result == sat::Result::kSat) {
-        out.model_verified = verify_anf_model(polys, num_vars, so.model);
-        if (!out.model_verified) out.result = sat::Result::kUnknown;
-    }
-    out.seconds = timer.seconds();
-    return out;
+    return from_solve(::bosphorus::solve(Problem::from_anf(polys, num_vars),
+                                         to_solve_config(cfg)));
 }
 
 PipelineOutcome solve_cnf_instance(const sat::Cnf& cnf,
                                    const PipelineConfig& cfg) {
-    Timer timer;
-    PipelineOutcome out;
-
-    sat::Cnf work = cnf;
-    if (cfg.use_bosphorus) {
-        Options opt = cfg.bosphorus;
-        opt.time_budget_s = std::min(cfg.bosphorus_budget_s, cfg.timeout_s);
-        Bosphorus tool(opt);
-        BosphorusResult bres = tool.process_cnf(cnf);
-        out.bosphorus_seconds = bres.seconds;
-        if (bres.status == sat::Result::kUnsat) {
-            out.result = sat::Result::kUnsat;
-            out.solved_in_loop = true;
-            out.seconds = timer.seconds();
-            return out;
-        }
-        if (bres.status == sat::Result::kSat) {
-            out.result = sat::Result::kSat;
-            out.solved_in_loop = true;
-            out.model_verified = true;
-            out.seconds = timer.seconds();
-            return out;
-        }
-        // Per section III-D the tool returns the original CNF augmented
-        // with the learnt facts (re-encoding CNF -> ANF -> CNF would be a
-        // suboptimal description): append the learnt units/equivalences
-        // over original variables.
-        for (const auto& p : bres.processed_anf) {
-            if (p.degree() > 1 || p.size() > 3) continue;
-            const auto vars = p.variables();
-            if (vars.empty()) continue;
-            if (std::any_of(vars.begin(), vars.end(), [&](anf::Var v) {
-                    return v >= cnf.num_vars;
-                }))
-                continue;
-            if (vars.size() == 1 && p.size() <= 2) {
-                // x (+1) = 0: a unit clause.
-                const bool value = p.has_constant_term();
-                work.add_clause({sat::mk_lit(vars[0], !value)});
-            } else if (vars.size() == 2 && p.size() <= 3) {
-                // x + y (+1) = 0: an (anti-)equivalence, two binaries.
-                const bool anti = p.has_constant_term();
-                work.add_clause({sat::mk_lit(vars[0], false),
-                                 sat::mk_lit(vars[1], !anti)});
-                work.add_clause({sat::mk_lit(vars[0], true),
-                                 sat::mk_lit(vars[1], anti)});
-            }
-        }
-    }
-
-    const double remaining = std::max(0.1, cfg.timeout_s - timer.seconds());
-    const sat::SolveOutcome so = sat::solve_cnf(work, cfg.solver, remaining);
-    out.result = so.result;
-    out.solver_stats = so.stats;
-    if (so.result == sat::Result::kSat) {
-        out.model_verified = sat::model_satisfies(cnf, so.model);
-        if (!out.model_verified) out.result = sat::Result::kUnknown;
-    }
-    out.seconds = timer.seconds();
-    return out;
+    return from_solve(
+        ::bosphorus::solve(Problem::from_cnf(cnf), to_solve_config(cfg)));
 }
 
 double par2_score(const std::vector<PipelineOutcome>& outcomes,
                   double timeout_s) {
-    double score = 0.0;
-    for (const auto& o : outcomes) {
-        if (o.result == sat::Result::kUnknown) {
-            score += 2.0 * timeout_s;
-        } else {
-            score += o.seconds;
-        }
+    // Delegate to the facade's scorer: only result + seconds matter.
+    std::vector<::bosphorus::SolveOutcome> mapped(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        mapped[i].result = outcomes[i].result;
+        mapped[i].seconds = outcomes[i].seconds;
     }
-    return score;
+    return ::bosphorus::par2_score(mapped, timeout_s);
 }
 
 }  // namespace bosphorus::core

@@ -1,4 +1,4 @@
-// End-to-end solving pipeline used by the Table II benchmark harness.
+// Legacy end-to-end solving pipeline used by the Table II bench harness.
 //
 // Mirrors the paper's experimental setup: an instance (ANF or CNF) is either
 // (a) converted to CNF and handed directly to a back-end SAT solver
@@ -6,11 +6,16 @@
 // (b) first run through the Bosphorus fact-learning loop, whose processed
 //     CNF (including learnt facts) is then handed to the back-end solver;
 //     the reported time includes Bosphorus's own runtime ("w Bosphorus").
+//
+// Both entry points are now thin adapters over the facade's
+// `bosphorus::solve` (include/bosphorus/solve.h); new code should call that
+// directly with a `Problem`.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "bosphorus/solve.h"
 #include "core/bosphorus.h"
 #include "sat/solve_cnf.h"
 
@@ -18,7 +23,8 @@ namespace bosphorus::core {
 
 struct PipelineConfig {
     Options bosphorus;             ///< loop parameters (section IV defaults)
-    sat::SolverKind solver = sat::SolverKind::kMinisatLike;
+    /// Back-end solver; matches the CLI's documented default (`cms`).
+    sat::SolverKind solver = sat::kDefaultSolverKind;
     bool use_bosphorus = false;    ///< the w/o vs w axis of Table II
     double timeout_s = 5000.0;     ///< total per-instance budget
     double bosphorus_budget_s = 1000.0;  ///< Bosphorus's share of the budget
@@ -32,6 +38,10 @@ struct PipelineOutcome {
     bool model_verified = false;     ///< SAT models checked against input
     sat::Solver::Stats solver_stats;
 };
+
+/// PipelineConfig -> the facade's SolveConfig (and outcome back).
+::bosphorus::SolveConfig to_solve_config(const PipelineConfig& cfg);
+PipelineOutcome to_pipeline_outcome(const ::bosphorus::SolveOutcome& out);
 
 /// Solve an ANF instance per the Table II protocol.
 PipelineOutcome solve_anf_instance(const std::vector<anf::Polynomial>& polys,

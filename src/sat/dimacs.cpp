@@ -69,6 +69,19 @@ Cnf read_dimacs_from_string(const std::string& text) {
     return read_dimacs(in);
 }
 
+::bosphorus::Result<Cnf> try_read_dimacs(std::istream& in) {
+    try {
+        return read_dimacs(in);
+    } catch (const DimacsError& e) {
+        return Status::parse_error(e.what());
+    }
+}
+
+::bosphorus::Result<Cnf> try_read_dimacs_from_string(const std::string& text) {
+    std::istringstream in(text);
+    return try_read_dimacs(in);
+}
+
 void write_dimacs(std::ostream& out, const Cnf& cnf) {
     out << "p cnf " << cnf.num_vars << " "
         << cnf.clauses.size() + cnf.xors.size() << "\n";

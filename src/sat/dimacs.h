@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "bosphorus/status.h"
 #include "sat/types.h"
 
 namespace bosphorus::sat {
@@ -20,6 +21,10 @@ struct DimacsError : std::runtime_error {
 /// literals XOR to true (CryptoMiniSat convention).
 Cnf read_dimacs(std::istream& in);
 Cnf read_dimacs_from_string(const std::string& text);
+
+/// Non-throwing variants: malformed text yields StatusCode::kParseError.
+::bosphorus::Result<Cnf> try_read_dimacs(std::istream& in);
+::bosphorus::Result<Cnf> try_read_dimacs_from_string(const std::string& text);
 
 void write_dimacs(std::ostream& out, const Cnf& cnf);
 

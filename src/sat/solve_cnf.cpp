@@ -17,6 +17,14 @@ const char* solver_kind_name(SolverKind kind) {
     return "?";
 }
 
+::bosphorus::Result<SolverKind> solver_kind_from_name(const std::string& name) {
+    if (name == "minisat") return SolverKind::kMinisatLike;
+    if (name == "lingeling") return SolverKind::kLingelingLike;
+    if (name == "cms") return SolverKind::kCmsLike;
+    return Status::invalid_argument(
+        "unknown solver '" + name + "' (expected minisat, lingeling or cms)");
+}
+
 std::vector<XorConstraint> recover_xors(const Cnf& cnf, size_t max_len) {
     // Group clauses by their sorted variable set; a set of l variables
     // encodes an XOR iff exactly the 2^(l-1) clauses of one sign-parity are

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bosphorus/status.h"
 #include "sat/solver.h"
 #include "sat/types.h"
 
@@ -20,7 +21,15 @@ namespace bosphorus::sat {
 
 enum class SolverKind { kMinisatLike, kLingelingLike, kCmsLike };
 
+/// The back end used when none is specified, everywhere (CLI --solver
+/// default, SolveConfig, PipelineConfig): the CMS-like configuration.
+inline constexpr SolverKind kDefaultSolverKind = SolverKind::kCmsLike;
+inline constexpr const char* kDefaultSolverName = "cms";
+
 const char* solver_kind_name(SolverKind kind);
+
+/// Parse a CLI-style solver name: "minisat", "lingeling" or "cms".
+::bosphorus::Result<SolverKind> solver_kind_from_name(const std::string& name);
 
 struct SolveOutcome {
     Result result = Result::kUnknown;
