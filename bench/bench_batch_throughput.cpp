@@ -1,0 +1,152 @@
+// Batch-solving throughput harness -- seeds the BENCH_* trajectory.
+//
+// Generates a batch of planted-solution random quadratic ANF systems, runs
+// them (a) sequentially through one Engine per instance and (b) through
+// BatchEngine::solve_all on a thread pool, then reports wall-clock,
+// speedup, and whether the parallel results are bit-identical to the
+// sequential ones (they must be: the determinism contract of the batch
+// runtime, enforced here with a nonzero exit code).
+//
+// Output is machine-readable JSON, printed to stdout and written to
+// BENCH_batch.json (override the path with BENCH_JSON_OUT). Knobs:
+// BENCH_INSTANCES (20), BENCH_THREADS (8), BENCH_VARS (40), BENCH_EQS
+// (56), BENCH_SEED (1). Speedup scales with available cores; on a 1-core
+// container it is ~1 by construction.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bosphorus/bosphorus.h"
+#include "cnfgen/generators.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bosphorus;
+
+namespace {
+
+size_t env_or(const char* name, size_t fallback) {
+    if (const char* v = std::getenv(name)) return std::strtoul(v, nullptr, 10);
+    return fallback;
+}
+
+Problem planted_instance(size_t num_vars, size_t num_eqs, Rng& rng) {
+    cnfgen::PlantedAnf inst =
+        cnfgen::planted_quadratic_anf(num_vars, num_eqs, 3, 2, rng);
+    return Problem::from_anf(std::move(inst.polys), inst.num_vars);
+}
+
+EngineConfig bench_config(uint64_t seed) {
+    EngineConfig cfg;
+    cfg.xl.m_budget = 18;
+    cfg.elimlin.m_budget = 18;
+    cfg.sat_conflicts_start = 2'000;
+    cfg.sat_conflicts_max = 20'000;
+    cfg.sat_conflicts_step = 2'000;
+    cfg.max_iterations = 12;
+    cfg.time_budget_s = 30.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+bool reports_identical(const Report& a, const Report& b) {
+    return a.verdict == b.verdict && a.interrupted == b.interrupted &&
+           a.timed_out == b.timed_out && a.solution == b.solution &&
+           a.processed_anf == b.processed_anf &&
+           a.iterations == b.iterations && a.num_vars == b.num_vars &&
+           a.total_facts() == b.total_facts();
+}
+
+}  // namespace
+
+int main() {
+    const size_t instances = env_or("BENCH_INSTANCES", 20);
+    const size_t threads = env_or("BENCH_THREADS", 8);
+    const size_t num_vars = env_or("BENCH_VARS", 40);
+    const size_t num_eqs = env_or("BENCH_EQS", 56);
+    const auto seed = static_cast<uint64_t>(env_or("BENCH_SEED", 1));
+    const char* json_path = std::getenv("BENCH_JSON_OUT");
+    if (!json_path) json_path = "BENCH_batch.json";
+
+    Rng gen_rng(seed * 0x5DEECE66DULL + 11);
+    std::vector<Problem> problems;
+    problems.reserve(instances);
+    for (size_t i = 0; i < instances; ++i)
+        problems.push_back(planted_instance(num_vars, num_eqs, gen_rng));
+
+    const EngineConfig cfg = bench_config(seed);
+
+    // (a) Sequential reference: one private Engine per instance, in order.
+    Timer seq_timer;
+    std::vector<Report> sequential;
+    sequential.reserve(instances);
+    for (const Problem& p : problems) {
+        Engine engine(cfg);
+        Result<Report> r = engine.run(p);
+        if (!r.ok()) {
+            std::fprintf(stderr, "sequential run failed: %s\n",
+                         r.status().to_string().c_str());
+            return 1;
+        }
+        sequential.push_back(std::move(*r));
+    }
+    const double seq_s = seq_timer.seconds();
+
+    // (b) The batch runtime on `threads` workers.
+    Timer par_timer;
+    BatchEngine batch(cfg);
+    const std::vector<Result<Report>> parallel =
+        batch.solve_all(problems, static_cast<unsigned>(threads));
+    const double par_s = par_timer.seconds();
+
+    bool deterministic = true;
+    size_t n_sat = 0, n_unsat = 0, n_unknown = 0;
+    for (size_t i = 0; i < instances; ++i) {
+        if (!parallel[i].ok() ||
+            !reports_identical(sequential[i], *parallel[i])) {
+            deterministic = false;
+            std::fprintf(stderr, "instance %zu diverged from sequential\n", i);
+        }
+        switch (sequential[i].verdict) {
+            case sat::Result::kSat: ++n_sat; break;
+            case sat::Result::kUnsat: ++n_unsat; break;
+            default: ++n_unknown; break;
+        }
+    }
+
+    const double speedup = par_s > 0 ? seq_s / par_s : 0.0;
+    char json[1024];
+    std::snprintf(
+        json, sizeof(json),
+        "{\n"
+        "  \"bench\": \"batch_throughput\",\n"
+        "  \"instances\": %zu,\n"
+        "  \"vars\": %zu,\n"
+        "  \"equations\": %zu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"seed\": %llu,\n"
+        "  \"sequential_s\": %.4f,\n"
+        "  \"parallel_s\": %.4f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"throughput_seq_per_s\": %.2f,\n"
+        "  \"throughput_par_per_s\": %.2f,\n"
+        "  \"deterministic\": %s,\n"
+        "  \"verdicts\": {\"sat\": %zu, \"unsat\": %zu, \"unknown\": %zu}\n"
+        "}\n",
+        instances, num_vars, num_eqs, threads,
+        runtime::ThreadPool::default_thread_count(),
+        static_cast<unsigned long long>(seed), seq_s, par_s, speedup,
+        seq_s > 0 ? instances / seq_s : 0.0,
+        par_s > 0 ? instances / par_s : 0.0,
+        deterministic ? "true" : "false", n_sat, n_unsat, n_unknown);
+
+    std::fputs(json, stdout);
+    if (std::ofstream out{json_path}) out << json;
+    else std::fprintf(stderr, "warning: cannot write %s\n", json_path);
+
+    return deterministic ? 0 : 1;
+}

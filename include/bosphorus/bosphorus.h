@@ -1,16 +1,28 @@
-// Umbrella header for the public Bosphorus library API.
-//
-//   #include <bosphorus/bosphorus.h>
-//
-//   auto problem = bosphorus::Problem::from_anf_file("problem.anf");
-//   if (!problem.ok()) { /* problem.status() says why */ }
-//   bosphorus::Engine engine;
-//   auto report = engine.run(*problem);
-//
-// See README.md for the quickstart and the migration table from the legacy
-// core::Bosphorus / core::solve_*_instance entry points.
+/// \file
+/// Umbrella header for the public Bosphorus library API.
+///
+/// \code
+///   #include <bosphorus/bosphorus.h>
+///
+///   auto problem = bosphorus::Problem::from_anf_file("problem.anf");
+///   if (!problem.ok()) { /* problem.status() says why */ }
+///   bosphorus::Engine engine;
+///   auto report = engine.run(*problem);
+/// \endcode
+///
+/// See README.md for the quickstart and the migration table from the
+/// legacy core::Bosphorus / core::solve_*_instance entry points.
+
+/// \namespace bosphorus
+/// The public API of the Bosphorus (DATE'19) reproduction: Problem
+/// containers, the Engine learning loop, pluggable Techniques, the
+/// concurrent batch/portfolio runtime, end-to-end solve(), and
+/// Status/Result structured errors. Everything outside this namespace's
+/// `include/bosphorus/` headers (core::, sat::, anf::, runtime::) is
+/// implementation detail that the facade re-exports where needed.
 #pragma once
 
+#include "bosphorus/batch.h"     // IWYU pragma: export
 #include "bosphorus/engine.h"    // IWYU pragma: export
 #include "bosphorus/problem.h"   // IWYU pragma: export
 #include "bosphorus/solve.h"     // IWYU pragma: export

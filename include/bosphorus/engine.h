@@ -1,17 +1,24 @@
-// The Engine facade: the paper's fact-learning workflow (Fig. 1) over a
-// pluggable technique registry.
-//
-// An `Engine` takes a `Problem` (ANF or CNF), materialises the master
-// `AnfSystem`, and repeatedly steps every registered `Technique` in order
-// -- by default XL -> ElimLin -> (Groebner) -> conflict-bounded SAT --
-// until a fixed point, a decision (SAT model found / 1 = 0 derived), the
-// iteration cap, the time budget, or an interrupt. The result is a
-// `Report`: verdict, solution, the processed ANF/CNF augmented with every
-// learnt fact, and per-technique tallies.
-//
-// Hooks: `set_interrupt_callback` is polled before every technique step
-// (return true to stop; the partial report is still produced), and
-// `set_progress_callback` fires after every step with live counters.
+/// \file
+/// The Engine facade: the paper's fact-learning workflow (Fig. 1) over a
+/// pluggable technique registry.
+///
+/// An `Engine` takes a `Problem` (ANF or CNF), materialises the master
+/// `AnfSystem`, and repeatedly steps every registered `Technique` in
+/// order -- by default XL -> ElimLin -> (Groebner) -> conflict-bounded
+/// SAT -- until a fixed point, a decision (SAT model found / 1 = 0
+/// derived), the iteration cap, the time budget, an interrupt, or a
+/// cancellation. The result is a `Report`: verdict, solution, the
+/// processed ANF/CNF augmented with every learnt fact, and per-technique
+/// tallies.
+///
+/// Hooks: `set_interrupt_callback` and `set_cancellation_token` are
+/// polled before every technique step *and* inside steps at technique
+/// iteration boundaries (the partial report is still produced);
+/// `set_progress_callback` fires after every step with live counters.
+///
+/// Thread safety: one Engine drives one run at a time; give each thread
+/// its own Engine (they are cheap), or use BatchEngine / solve_portfolio
+/// from bosphorus/batch.h, which do exactly that.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +31,14 @@
 #include "bosphorus/status.h"
 #include "bosphorus/technique.h"
 #include "core/anf_to_cnf.h"
+#include "runtime/cancellation.h"
 
 namespace bosphorus {
+
+// Defined in bosphorus/batch.h (the concurrent-runtime facade); forward
+// declared here so Engine::solve_portfolio can be a member.
+struct PortfolioEntry;
+struct PortfolioReport;
 
 /// Loop parameters (paper section IV defaults). This is the type the
 /// legacy `core::Options` name aliases.
@@ -39,20 +52,21 @@ struct EngineConfig {
     /// Optional fourth technique (paper section V): degree-bounded
     /// Buchberger/F4 Groebner reduction, plugged into the same loop.
     core::GroebnerConfig groebner;
-    bool use_groebner = false;
+    bool use_groebner = false;  ///< register the Groebner technique
 
-    // SAT-solver conflict budget schedule: C from 10,000 to 100,000 in
-    // increments of 10,000 whenever the solver produced no new facts.
+    /// SAT-solver conflict budget: starts here, escalating whenever the
+    /// solver produced no new facts (paper section IV: 10k to 100k in 10k
+    /// increments).
     int64_t sat_conflicts_start = 10'000;
-    int64_t sat_conflicts_max = 100'000;
-    int64_t sat_conflicts_step = 10'000;
+    int64_t sat_conflicts_max = 100'000;   ///< budget ceiling
+    int64_t sat_conflicts_step = 10'000;   ///< escalation increment
 
     unsigned max_iterations = 64;   ///< safety bound on the outer loop
     double time_budget_s = 1000.0;  ///< paper: Bosphorus given <= 1000 s
 
-    bool use_xl = true;  ///< ablation switches for the default registry
-    bool use_elimlin = true;
-    bool use_sat = true;
+    bool use_xl = true;       ///< ablation switches: register XL...
+    bool use_elimlin = true;  ///< ... ElimLin ...
+    bool use_sat = true;      ///< ... and the conflict-bounded SAT step
     bool sat_native_xor = true;  ///< in-loop solver uses native XOR + GJE
 
     /// Also harvest general (non-equivalence) learnt binary clauses as
@@ -60,8 +74,11 @@ struct EngineConfig {
     /// facts (value and equivalence assignments).
     bool harvest_binary_clauses = false;
 
+    /// RNG seed. Runs are bit-for-bit reproducible given (problem,
+    /// config, seed) -- this is also what makes BatchEngine results
+    /// independent of scheduling.
     uint64_t seed = 1;
-    int verbosity = 0;
+    int verbosity = 0;  ///< 0 silent; higher = more stderr logging
 };
 
 /// Live counters handed to the progress callback after every technique step.
@@ -71,16 +88,19 @@ struct Progress {
     size_t facts_seen = 0;      ///< facts that step produced
     size_t facts_fresh = 0;     ///< ... of which were new
     size_t total_facts = 0;     ///< fresh facts across the whole run so far
-    double elapsed_s = 0.0;
+    double elapsed_s = 0.0;     ///< wall-clock since the run started
 };
 
-/// Return true to stop the run at the next step boundary.
+/// Return true to stop the run; polled at step boundaries and technique
+/// iteration boundaries, possibly many times, so it must be cheap and
+/// idempotent.
 using InterruptCallback = std::function<bool()>;
+/// Observer of per-step Progress counters; called on the run()ing thread.
 using ProgressCallback = std::function<void(const Progress&)>;
 
 /// Per-technique fact tally, in registry order.
 struct TechniqueTally {
-    std::string name;
+    std::string name;  ///< Technique::name() of this registry slot
     size_t steps = 0;  ///< step() invocations
     size_t facts = 0;  ///< fresh facts contributed
 };
@@ -90,7 +110,8 @@ struct Report {
     /// kSat: in-loop solution found; kUnsat: 1 = 0 derived; kUnknown: fixed
     /// point / budget / interrupt without deciding the instance.
     sat::Result verdict = sat::Result::kUnknown;
-    bool interrupted = false;  ///< the interrupt callback stopped the run
+    /// The interrupt callback or a cancellation token stopped the run.
+    bool interrupted = false;
     bool timed_out = false;    ///< the time budget expired
 
     /// Satisfying assignment over the problem's ANF variables iff
@@ -102,15 +123,17 @@ struct Report {
     /// CNF of the processed system (includes all learnt facts).
     core::Anf2CnfResult processed_cnf;
 
+    /// Per-technique tallies, in registry order.
     std::vector<TechniqueTally> techniques;
     /// Fresh facts contributed by the named technique (0 if absent).
     size_t facts_from(const std::string& name) const;
+    /// Fresh facts across all techniques.
     size_t total_facts() const;
 
-    size_t iterations = 0;
-    size_t vars_fixed = 0;
-    size_t vars_replaced = 0;
-    double seconds = 0.0;
+    size_t iterations = 0;     ///< outer-loop iterations completed
+    size_t vars_fixed = 0;     ///< variables assigned a constant
+    size_t vars_replaced = 0;  ///< variables replaced by an equivalence
+    double seconds = 0.0;      ///< wall-clock of the run
 
     /// ANF variable count the engine worked over. For CNF problems this
     /// includes clause-cutting auxiliaries above `num_original_vars`.
@@ -118,11 +141,14 @@ struct Report {
     size_t num_original_vars = 0;  ///< the input problem's own variables
 };
 
+/// The fact-learning loop (see the file comment). Construct, optionally
+/// customise the technique registry and hooks, then run() Problems.
 class Engine {
 public:
     /// Builds the default technique registry from the config's ablation
     /// switches: XL, ElimLin, (Groebner), SAT.
     explicit Engine(EngineConfig cfg);
+    /// An Engine with the paper's default parameters (EngineConfig{}).
     Engine() : Engine(EngineConfig{}) {}
 
     /// Append a technique to the registry (runs after the existing ones,
@@ -130,17 +156,49 @@ public:
     Engine& add_technique(std::unique_ptr<Technique> technique);
     /// Drop all registered techniques (e.g. to build a custom registry).
     Engine& clear_techniques();
+    /// Technique::name() of every registry slot, in run order.
     std::vector<std::string> technique_names() const;
 
+    /// Install a polled stop signal. Checked before every technique step,
+    /// and *within* steps at technique iteration boundaries (FactSink
+    /// threads it into the XL/ElimLin/Groebner loops). The callback runs
+    /// on the thread executing run(); it must be thread-safe if this
+    /// Engine is driven from a thread other than the one that set it.
     Engine& set_interrupt_callback(InterruptCallback cb);
+    /// Install a progress observer, fired after every technique step on
+    /// the thread executing run().
     Engine& set_progress_callback(ProgressCallback cb);
+
+    /// Attach a cancellation token (see runtime/cancellation.h). When the
+    /// owning CancellationSource fires, the run stops within one technique
+    /// iteration and returns a partial Report with `interrupted = true`.
+    /// This is how BatchEngine shutdown and portfolio first-finisher
+    /// cancellation reach a running engine; it composes with (does not
+    /// replace) the interrupt callback.
+    Engine& set_cancellation_token(runtime::CancellationToken token);
 
     /// Run the learning loop on `problem` until fixed point or decision.
     /// CNF problems are converted to ANF first (section III-D). An error
-    /// Status is returned only for malformed inputs; interrupt and timeout
-    /// still yield a (partial) Report.
+    /// Status is returned only for malformed inputs; interrupt, timeout
+    /// and cancellation still yield a (partial) Report.
+    ///
+    /// Thread safety: one Engine serves one run at a time (techniques are
+    /// stateful across steps). For concurrent runs give each thread its
+    /// own Engine -- they are cheap to construct -- or use BatchEngine,
+    /// which does exactly that.
     Result<Report> run(const Problem& problem);
 
+    /// Race several technique configurations on one instance across a
+    /// thread pool; the first decisive finisher cancels the rest. Declared
+    /// here for discoverability; the portfolio types live in
+    /// bosphorus/batch.h (include that to call this). Equivalent to the
+    /// free function solve_portfolio().
+    static Result<PortfolioReport> solve_portfolio(
+        const Problem& problem, const std::vector<PortfolioEntry>& entries,
+        unsigned n_threads = 0,
+        runtime::CancellationToken cancel = {});
+
+    /// The loop parameters this Engine was built with.
     const EngineConfig& config() const { return cfg_; }
 
 private:
@@ -148,6 +206,7 @@ private:
     std::vector<std::unique_ptr<Technique>> techniques_;
     InterruptCallback interrupt_;
     ProgressCallback progress_;
+    runtime::CancellationToken cancel_;
 };
 
 }  // namespace bosphorus

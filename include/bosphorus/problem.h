@@ -1,12 +1,18 @@
-// The unified problem container of the public API.
-//
-// A `Problem` owns the input instance in either of the two forms Bosphorus
-// accepts -- an ANF polynomial system or a CNF formula -- behind one type
-// (a tagged variant). It supports incremental loading (`add_polynomial`,
-// `add_clause`, `add_xor_clause`; the first addition fixes the kind) and
-// whole-file / whole-string loaders that report failures as `Result`s
-// rather than exceptions. An `Engine` consumes a `Problem` regardless of
-// its kind; CNF problems are converted to ANF internally (section III-D).
+/// \file
+/// The unified problem container of the public API.
+///
+/// A `Problem` owns the input instance in either of the two forms
+/// Bosphorus accepts -- an ANF polynomial system or a CNF formula --
+/// behind one type (a tagged variant). It supports incremental loading
+/// (`add_polynomial`, `add_clause`, `add_xor_clause`; the first addition
+/// fixes the kind) and whole-file / whole-string loaders that report
+/// failures as `Result`s rather than exceptions. An `Engine` consumes a
+/// `Problem` regardless of its kind; CNF problems are converted to ANF
+/// internally (section III-D).
+///
+/// Thread safety: a Problem is a value type. Concurrent const access
+/// (inspection, Engine/BatchEngine runs) is safe; mutation (`add_*`,
+/// `new_var`) must be externally serialised and must not race reads.
 #pragma once
 
 #include <cstddef>
@@ -19,23 +25,38 @@
 
 namespace bosphorus {
 
+/// An ANF or CNF instance behind one type; see the file comment.
 class Problem {
 public:
-    enum class Kind { kEmpty, kAnf, kCnf };
+    /// Which representation this problem holds.
+    enum class Kind {
+        kEmpty,  ///< nothing added yet; the first add_* fixes the kind
+        kAnf,    ///< a Boolean polynomial system (equations p = 0)
+        kCnf     ///< a CNF formula (clauses + native XOR constraints)
+    };
 
     /// An empty problem; the first add_* call decides its kind.
     Problem() = default;
 
     // ---- whole-instance constructors ------------------------------------
+    /// Wrap an ANF system. Postcondition: kind() == kAnf (even when
+    /// `polys` is empty) and num_vars() == num_vars.
     static Problem from_anf(std::vector<anf::Polynomial> polys,
                             size_t num_vars);
+    /// Wrap a CNF formula. Postcondition: kind() == kCnf.
     static Problem from_cnf(sat::Cnf cnf);
 
-    /// Parse "x1*x2 + x3 + 1"-style text, one polynomial equation per line.
+    /// Parse "x1*x2 + x3 + 1"-style text, one polynomial equation per
+    /// line. Fails with kParseError on malformed input.
     static Result<Problem> from_anf_text(const std::string& text);
     /// Parse DIMACS CNF text ('x' lines are native XOR constraints).
+    /// Fails with kParseError on malformed input.
     static Result<Problem> from_cnf_text(const std::string& text);
+    /// Load ANF text from a file; kIoError if unreadable, else as
+    /// from_anf_text.
     static Result<Problem> from_anf_file(const std::string& path);
+    /// Load DIMACS from a file; kIoError if unreadable, else as
+    /// from_cnf_text.
     static Result<Problem> from_cnf_file(const std::string& path);
 
     // ---- incremental loading ---------------------------------------------
@@ -53,8 +74,11 @@ public:
     void reserve_vars(size_t n);
 
     // ---- inspection ------------------------------------------------------
+    /// Which representation this problem currently holds.
     Kind kind() const { return kind_; }
+    /// True iff no constraint has been added (regardless of kind).
     bool empty() const;
+    /// Size of the variable space (highest variable index + 1).
     size_t num_vars() const;
     /// Number of constraints: polynomials, or clauses + XOR constraints.
     size_t num_constraints() const;

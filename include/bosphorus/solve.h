@@ -1,10 +1,14 @@
-// End-to-end solving over the facade (the paper's Table II protocol).
-//
-// A `Problem` is either handed straight to a back-end SAT solver
-// ("w/o Bosphorus") or first run through the `Engine` learning loop, whose
-// processed CNF -- original variables plus every learnt fact -- is then
-// solved; the reported time includes the engine's own runtime
-// ("w Bosphorus"). SAT models are verified against the *original* input.
+/// \file
+/// End-to-end solving over the facade (the paper's Table II protocol).
+///
+/// A `Problem` is either handed straight to a back-end SAT solver
+/// ("w/o Bosphorus") or first run through the `Engine` learning loop,
+/// whose processed CNF -- original variables plus every learnt fact -- is
+/// then solved; the reported time includes the engine's own runtime
+/// ("w Bosphorus"). SAT models are verified against the *original* input.
+///
+/// Thread safety: solve() builds all its state per call; concurrent
+/// solve() calls on distinct (or shared, const) Problems are safe.
 #pragma once
 
 #include "bosphorus/engine.h"
@@ -14,21 +18,24 @@
 
 namespace bosphorus {
 
+/// Parameters of one end-to-end solve() call.
 struct SolveConfig {
     EngineConfig engine;        ///< loop parameters (section IV defaults)
     bool preprocess = false;    ///< run the Engine first (the "w" axis)
+    /// Back-end CDCL configuration (minisat-like / lingeling-like / cms).
     sat::SolverKind solver = sat::kDefaultSolverKind;
     double timeout_s = 5000.0;  ///< total per-instance budget
     double engine_budget_s = 1000.0;  ///< the Engine's share of the budget
 };
 
+/// What one end-to-end solve() call produced.
 struct SolveOutcome {
-    sat::Result result = sat::Result::kUnknown;
+    sat::Result result = sat::Result::kUnknown;  ///< final verdict
     double seconds = 0.0;         ///< total wall-clock (incl. the engine)
     double engine_seconds = 0.0;  ///< time spent in the learning loop
     bool solved_in_loop = false;  ///< decided by the engine itself
     bool model_verified = false;  ///< SAT model checked against the input
-    sat::Solver::Stats solver_stats;
+    sat::Solver::Stats solver_stats;  ///< back-end solver counters
 };
 
 /// Solve an ANF or CNF problem. Errors only on malformed input (e.g. an

@@ -1,9 +1,15 @@
-// Structured error handling for the public Bosphorus API.
-//
-// Library entry points that can fail return a `Status` (or a `Result<T>`,
-// which is a value-or-Status) instead of calling exit(), throwing, or
-// collapsing every failure into a bare bool. Codes classify the failure so
-// callers can branch on it; messages carry the human-readable detail.
+/// \file
+/// Structured error handling for the public Bosphorus API.
+///
+/// Library entry points that can fail return a `Status` (or a
+/// `Result<T>`, which is a value-or-Status) instead of calling exit(),
+/// throwing, or collapsing every failure into a bare bool. Codes classify
+/// the failure so callers can branch on it; messages carry the
+/// human-readable detail.
+///
+/// Thread safety: `Status` and `Result<T>` are plain value types with no
+/// shared state; distinct instances can be used from distinct threads
+/// freely, and const access to one instance is safe to share.
 #pragma once
 
 #include <cassert>
@@ -13,8 +19,9 @@
 
 namespace bosphorus {
 
+/// Failure classification carried by every non-OK Status.
 enum class StatusCode {
-    kOk = 0,
+    kOk = 0,           ///< success (the code of a default Status)
     kInvalidArgument,  ///< caller broke an API precondition
     kParseError,       ///< malformed ANF / DIMACS text
     kIoError,          ///< file could not be opened / read / written
@@ -24,13 +31,18 @@ enum class StatusCode {
     kInternal,         ///< invariant violation inside the library
 };
 
+/// Stable identifier of a code, e.g. "kParseError" -> "parse_error".
 const char* status_code_name(StatusCode code);
 
+/// An error code plus human-readable message; the success value is the
+/// default-constructed Status. Returned by every fallible entry point of
+/// the facade that has no value to produce.
 class Status {
 public:
     /// Default-constructed Status is success.
     Status() = default;
 
+    /// Build an error Status. Precondition: `code != StatusCode::kOk`.
     static Status error(StatusCode code, std::string message) {
         assert(code != StatusCode::kOk);
         Status s;
@@ -38,32 +50,42 @@ public:
         s.message_ = std::move(message);
         return s;
     }
+    /// Shorthand for error(StatusCode::kInvalidArgument, m).
     static Status invalid_argument(std::string m) {
         return error(StatusCode::kInvalidArgument, std::move(m));
     }
+    /// Shorthand for error(StatusCode::kParseError, m).
     static Status parse_error(std::string m) {
         return error(StatusCode::kParseError, std::move(m));
     }
+    /// Shorthand for error(StatusCode::kIoError, m).
     static Status io_error(std::string m) {
         return error(StatusCode::kIoError, std::move(m));
     }
+    /// Shorthand for error(StatusCode::kInterrupted, m).
     static Status interrupted(std::string m) {
         return error(StatusCode::kInterrupted, std::move(m));
     }
+    /// Shorthand for error(StatusCode::kTimeout, m).
     static Status timeout(std::string m) {
         return error(StatusCode::kTimeout, std::move(m));
     }
+    /// Shorthand for error(StatusCode::kInternal, m).
     static Status internal(std::string m) {
         return error(StatusCode::kInternal, std::move(m));
     }
 
+    /// True iff this is the success value.
     bool ok() const { return code_ == StatusCode::kOk; }
+    /// The classification (kOk for a success Status).
     StatusCode code() const { return code_; }
+    /// Human-readable detail; empty for a success Status.
     const std::string& message() const { return message_; }
 
     /// "OK" or "<code>: <message>".
     std::string to_string() const;
 
+    /// Structural equality on (code, message).
     bool operator==(const Status& o) const {
         return code_ == o.code_ && message_ == o.message_;
     }
@@ -77,12 +99,17 @@ private:
 template <typename T>
 class Result {
 public:
+    /// Wrap a successfully produced value (implicit by design, so a
+    /// function can plainly `return value;`).
     Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+    /// Wrap a failure. Precondition: `!status.ok()` -- a Result built from
+    /// a Status must carry an error.
     Result(Status status) : state_(std::move(status)) {  // NOLINT
         assert(!std::get<Status>(state_).ok() &&
                "a Result built from a Status must carry an error");
     }
 
+    /// True iff a value is held (then value() is valid, status() is kOk).
     bool ok() const { return std::holds_alternative<T>(state_); }
 
     /// The error (StatusCode::kOk when a value is held).
@@ -90,23 +117,29 @@ public:
         return ok() ? Status() : std::get<Status>(state_);
     }
 
-    /// Precondition: ok().
+    /// The held value. Precondition: ok().
     const T& value() const& {
         assert(ok());
         return std::get<T>(state_);
     }
+    /// The held value (mutable). Precondition: ok().
     T& value() & {
         assert(ok());
         return std::get<T>(state_);
     }
+    /// Move the held value out. Precondition: ok().
     T&& value() && {
         assert(ok());
         return std::get<T>(std::move(state_));
     }
 
+    /// Dereference shorthand for value(). Precondition: ok().
     const T& operator*() const& { return value(); }
+    /// Dereference shorthand for value(). Precondition: ok().
     T& operator*() & { return value(); }
+    /// Member-access shorthand for value(). Precondition: ok().
     const T* operator->() const { return &value(); }
+    /// Member-access shorthand for value(). Precondition: ok().
     T* operator->() { return &value(); }
 
 private:

@@ -1,19 +1,27 @@
-// The pluggable learning-technique interface of the Engine loop.
-//
-// The paper (section V) stresses that new solving techniques "can be
-// plugged as components into the workflow". The `Engine` realises that: it
-// iterates an *ordered registry* of `Technique` objects, each implementing
-// one `step()` of fact learning against the master ANF. XL, ElimLin, the
-// optional Groebner reduction and the conflict-bounded SAT step are all
-// shipped as such plugins (see the make_*_technique factories); installing
-// a new technique -- a no-op, a parallel worker, a remote call -- requires
-// no change to the engine loop.
+/// \file
+/// The pluggable learning-technique interface of the Engine loop.
+///
+/// The paper (section V) stresses that new solving techniques "can be
+/// plugged as components into the workflow". The `Engine` realises that:
+/// it iterates an *ordered registry* of `Technique` objects, each
+/// implementing one `step()` of fact learning against the master ANF. XL,
+/// ElimLin, the optional Groebner reduction and the conflict-bounded SAT
+/// step are all shipped as such plugins (see the make_*_technique
+/// factories); installing a new technique -- a no-op, a parallel worker,
+/// a remote call -- requires no change to the engine loop.
+///
+/// Thread safety: a Technique instance belongs to one Engine and is
+/// stepped by one thread at a time; techniques needing cross-run state
+/// reset it in begin_run(). Long-running steps must poll
+/// FactSink::cancelled() (or pass the token to the core loops) so batch
+/// shutdown, portfolio cancellation and user interrupts stay prompt.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anf/polynomial.h"
@@ -22,6 +30,7 @@
 #include "core/elimlin.h"
 #include "core/groebner.h"
 #include "core/xl.h"
+#include "runtime/cancellation.h"
 #include "sat/types.h"
 #include "util/rng.h"
 
@@ -37,20 +46,26 @@ namespace bosphorus {
 /// budget and the outer-loop iteration number.
 class FactSink {
 public:
+    /// Built by the Engine before every technique step. `cancel` folds the
+    /// engine's cancellation token and the user's interrupt callback into
+    /// one stop signal (see cancel_token()).
     FactSink(core::AnfSystem& sys, Rng& rng, double time_remaining_s,
-             size_t iteration, int verbosity)
+             size_t iteration, int verbosity,
+             runtime::CancellationToken cancel = {})
         : sys_(sys),
           rng_(rng),
           time_remaining_s_(time_remaining_s),
           iteration_(iteration),
-          verbosity_(verbosity) {}
+          verbosity_(verbosity),
+          cancel_(std::move(cancel)) {}
 
     /// Add a learnt polynomial fact (an equation fact = 0). Returns true
     /// iff the fact was new, i.e. changed the system.
     bool add(const anf::Polynomial& fact);
 
-    /// Facts offered / facts that were new, so far in this step.
+    /// Facts offered so far in this step.
     size_t seen() const { return seen_; }
+    /// Facts that were new (changed the system) so far in this step.
     size_t fresh() const { return fresh_; }
 
     /// False once the system has derived 1 = 0 (the instance is UNSAT);
@@ -61,10 +76,25 @@ public:
     /// more than `equations()`, e.g. the SAT step's CNF conversion).
     const core::AnfSystem& system() const { return sys_; }
 
+    /// The run's RNG: the one deterministic randomness source techniques
+    /// may draw from (subsampling, tie-breaking).
     Rng& rng() const { return rng_; }
+    /// Wall-clock remaining in the engine's time budget at step start.
     double time_remaining_s() const { return time_remaining_s_; }
+    /// The outer-loop iteration this step belongs to (0-based).
     size_t iteration() const { return iteration_; }
+    /// The engine's logging verbosity (EngineConfig::verbosity).
     int verbosity() const { return verbosity_; }
+
+    /// The engine's stop signal for this step: cancelled when the run's
+    /// cancellation token fires (batch shutdown, portfolio loser) or the
+    /// user's interrupt callback returns true. Long-running techniques
+    /// must hand this to their core loops (run_xl/run_elimlin/...) or poll
+    /// `cancelled()` at their own iteration boundaries so that
+    /// cancellation lands within one iteration, not one step.
+    const runtime::CancellationToken& cancel_token() const { return cancel_; }
+    /// Shorthand for cancel_token().cancelled().
+    bool cancelled() const { return cancel_.cancelled(); }
 
 private:
     core::AnfSystem& sys_;
@@ -72,6 +102,7 @@ private:
     double time_remaining_s_;
     size_t iteration_;
     int verbosity_;
+    runtime::CancellationToken cancel_;
     size_t seen_ = 0;
     size_t fresh_ = 0;
 };
@@ -81,11 +112,11 @@ struct StepReport {
     /// Non-OK aborts the whole engine run with this status.
     Status status;
 
-    /// Facts produced / facts that changed the system. Techniques that
-    /// deposit through the sink can leave these 0; the engine folds the
-    /// sink's own counters in.
+    /// Facts produced outside the sink. Techniques that deposit through
+    /// the sink can leave this 0; the engine folds the sink's own
+    /// counters in.
     size_t facts_seen = 0;
-    size_t facts_fresh = 0;
+    size_t facts_fresh = 0;  ///< ... of which changed the system
 
     /// Set when the technique decided the instance outright. kSat requires
     /// `solution`; kUnknown means "stop the loop without a verdict" (e.g. a
@@ -94,6 +125,7 @@ struct StepReport {
     std::optional<sat::Result> decided;
     std::vector<bool> solution;  ///< iff decided == kSat
 
+    /// True iff this step changed the system.
     bool progressed() const { return facts_fresh > 0; }
 };
 
@@ -116,9 +148,13 @@ public:
 
 // ---- built-in techniques (the paper's loop, as plugins) -------------------
 
+/// eXtended Linearization (paper section II-B) as a Technique.
 std::unique_ptr<Technique> make_xl_technique(const core::XlConfig& cfg);
+/// ElimLin (paper section II-C) as a Technique.
 std::unique_ptr<Technique> make_elimlin_technique(
     const core::ElimLinConfig& cfg);
+/// Degree-bounded F4/Buchberger reduction (paper section V) as a
+/// Technique.
 std::unique_ptr<Technique> make_groebner_technique(
     const core::GroebnerConfig& cfg);
 
@@ -130,13 +166,14 @@ std::unique_ptr<Technique> make_groebner_technique(
 struct SatTechniqueConfig {
     core::Anf2CnfConfig conv;       ///< conversion parameters (K, L)
     bool native_xor = true;         ///< in-loop solver uses XOR + GJE
-    int64_t conflicts_start = 10'000;
-    int64_t conflicts_max = 100'000;
-    int64_t conflicts_step = 10'000;
+    int64_t conflicts_start = 10'000;  ///< initial conflict budget C
+    int64_t conflicts_max = 100'000;   ///< budget ceiling
+    int64_t conflicts_step = 10'000;   ///< escalation on fact-free steps
     /// Also harvest general learnt binary clauses as quadratic facts.
     bool harvest_binary_clauses = false;
 };
 
+/// The conflict-bounded SAT step (see SatTechniqueConfig) as a Technique.
 std::unique_ptr<Technique> make_sat_technique(const SatTechniqueConfig& cfg);
 
 }  // namespace bosphorus

@@ -86,6 +86,11 @@ Engine& Engine::set_progress_callback(ProgressCallback cb) {
     return *this;
 }
 
+Engine& Engine::set_cancellation_token(runtime::CancellationToken token) {
+    cancel_ = std::move(token);
+    return *this;
+}
+
 Result<Report> Engine::run(const Problem& problem) {
     Timer timer;
     Log log{cfg_.verbosity};
@@ -124,6 +129,14 @@ Result<Report> Engine::run(const Problem& problem) {
         return false;
     };
 
+    // One stop signal for the whole run: the external cancellation token
+    // (batch shutdown, portfolio loser) folded with the user's interrupt
+    // callback. Handed into every FactSink so the core loops poll it at
+    // iteration boundaries -- cancellation lands mid-step, not only
+    // between steps.
+    const runtime::CancellationToken stop =
+        runtime::CancellationToken::linked(cancel_, interrupt_);
+
     bool halted = false;  // a technique decided, or an interrupt arrived
     for (rep.iterations = 0;
          sys.okay() && rep.iterations < cfg_.max_iterations && !out_of_time();
@@ -132,7 +145,7 @@ Result<Report> Engine::run(const Problem& problem) {
 
         for (size_t ti = 0; ti < techniques_.size(); ++ti) {
             if (!sys.okay() || out_of_time()) break;
-            if (interrupt_ && interrupt_()) {
+            if (stop.cancelled()) {
                 rep.interrupted = true;
                 halted = true;
                 break;
@@ -140,7 +153,7 @@ Result<Report> Engine::run(const Problem& problem) {
 
             Technique& tech = *techniques_[ti];
             FactSink sink(sys, rng, cfg_.time_budget_s - timer.seconds(),
-                          rep.iterations, cfg_.verbosity);
+                          rep.iterations, cfg_.verbosity, stop);
             StepReport sr = tech.step(sys, sink);
             if (!sr.status.ok()) return sr.status;
 
@@ -172,6 +185,11 @@ Result<Report> Engine::run(const Problem& problem) {
 
         if (halted || !changed) break;  // decision/interrupt or fixed point
     }
+
+    // A cancellation that landed inside the final step (core loops bailed
+    // early, loop then exited on "no change") is still an interruption.
+    if (!halted && rep.verdict == sat::Result::kUnknown && stop.cancelled())
+        rep.interrupted = true;
 
     if (!sys.okay()) rep.verdict = sat::Result::kUnsat;
 

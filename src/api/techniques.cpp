@@ -31,8 +31,8 @@ public:
 
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
         core::XlStats stats;
-        const auto facts =
-            core::run_xl(sys.equations(), cfg_, sink.rng(), &stats);
+        const auto facts = core::run_xl(sys.equations(), cfg_, sink.rng(),
+                                        &stats, sink.cancel_token());
         deposit(sink, facts);
         Log{sink.verbosity()}.info(
             2, "iter %zu XL: %zu rows, %zu cols, %zu facts (%zu new)",
@@ -52,8 +52,9 @@ public:
 
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
         core::ElimLinStats stats;
-        const auto facts =
-            core::run_elimlin(sys.equations(), cfg_, sink.rng(), &stats);
+        const auto facts = core::run_elimlin(sys.equations(), cfg_,
+                                             sink.rng(), &stats,
+                                             sink.cancel_token());
         deposit(sink, facts);
         Log{sink.verbosity()}.info(
             2, "iter %zu ElimLin: %zu iters, %zu facts (%zu new)",
@@ -72,8 +73,9 @@ public:
 
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
         core::GroebnerStats stats;
-        const auto facts =
-            core::run_groebner(sys.equations(), cfg_, sink.rng(), &stats);
+        const auto facts = core::run_groebner(sys.equations(), cfg_,
+                                              sink.rng(), &stats,
+                                              sink.cancel_token());
         deposit(sink, facts);
         Log{sink.verbosity()}.info(
             2, "iter %zu Groebner: %zu spairs, %zu facts (%zu new)",
@@ -128,6 +130,10 @@ public:
 
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
         StepReport report;
+        // The CDCL run below is already bounded by conflicts + wall clock;
+        // polling here keeps a cancelled engine from paying for the CNF
+        // conversion and solver setup at all.
+        if (sink.cancelled()) return report;
 
         core::Anf2CnfConfig conv_cfg = cfg_.conv;
         conv_cfg.native_xor = cfg_.native_xor;

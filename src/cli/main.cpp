@@ -11,16 +11,21 @@
 // Built on the library facade: the input file loads into a
 // bosphorus::Problem, the learning loop is a bosphorus::Engine, and all
 // failures arrive as structured Status values instead of exceptions.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include <vector>
+
 #include "anf/anf_parser.h"
 #include "bosphorus/bosphorus.h"
+#include "runtime/thread_pool.h"
 #include "sat/dimacs.h"
 #include "sat/solve_cnf.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -40,6 +45,13 @@ void usage() {
         "  --solve         run a back-end SAT solver on the processed CNF\n"
         "  --solver NAME   minisat | lingeling | cms (default cms)\n"
         "\n"
+        "concurrency:\n"
+        "  --batch FILE... process many instances across a thread pool\n"
+        "                  (*.cnf loads as CNF, anything else as ANF)\n"
+        "  --portfolio     race 4 technique configs on one instance;\n"
+        "                  first decisive finisher cancels the rest\n"
+        "  --threads N     worker threads (default: hardware concurrency)\n"
+        "\n"
         "parameters (paper section IV defaults):\n"
         "  -M N            XL/ElimLin sample budget exponent (30)\n"
         "  -D N            XL expansion degree (1)\n"
@@ -58,6 +70,12 @@ void usage() {
 int fail(const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
     return 2;
+}
+
+const char* verdict_name(sat::Result r) {
+    if (r == sat::Result::kSat) return "SAT";
+    if (r == sat::Result::kUnsat) return "UNSAT";
+    return "UNKNOWN";
 }
 
 void print_model(const std::vector<bool>& solution, size_t num_vars) {
@@ -84,10 +102,32 @@ int main(int argc, char** argv) {
 
 namespace {
 
+/// Everything the plain and portfolio paths share downstream of a Report:
+/// write --anfout/--cnf, report the engine's own verdict, optionally run
+/// the back-end solver (--solve) on the processed CNF.
+struct OutputOptions {
+    std::string cnf_out;
+    std::string anf_out;
+    bool solve_after = false;
+    sat::SolverKind solver_kind = sat::kDefaultSolverKind;
+};
+int finish_run(const Report& res, const OutputOptions& out_opt,
+               size_t problem_vars);
+
+int run_batch(const std::vector<std::string>& files, const EngineConfig& opt,
+              unsigned n_threads);
+int run_portfolio(const Problem& problem, const EngineConfig& opt,
+                  unsigned n_threads, size_t problem_vars,
+                  const OutputOptions& out_opt);
+
 int run(int argc, char** argv) {
     std::string anf_in, cnf_in, cnf_out, anf_out;
     std::string solver_name = sat::kDefaultSolverName;
     bool solve_after = false;
+    bool batch_mode = false;
+    bool portfolio_mode = false;
+    unsigned n_threads = 0;  // 0 = hardware concurrency
+    std::vector<std::string> batch_files;
     EngineConfig opt;
 
     for (int i = 1; i < argc; ++i) {
@@ -100,6 +140,11 @@ int run(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--anf") anf_in = next();
+        else if (a == "--batch") batch_mode = true;
+        else if (a == "--portfolio") portfolio_mode = true;
+        else if (a == "--threads") n_threads = std::stoul(next());
+        else if (batch_mode && !a.empty() && a[0] != '-')
+            batch_files.push_back(a);
         else if (a == "--cnfin") cnf_in = next();
         else if (a == "--cnf") cnf_out = next();
         else if (a == "--anfout") anf_out = next();
@@ -129,6 +174,22 @@ int run(int argc, char** argv) {
             return 2;
         }
     }
+    if (batch_mode) {
+        if (batch_files.empty()) {
+            std::fprintf(stderr, "--batch needs at least one input file\n");
+            return 2;
+        }
+        // Refuse flag combinations batch mode would otherwise silently
+        // drop (per-instance outputs / back-end solving / portfolio).
+        if (solve_after || portfolio_mode || !cnf_out.empty() ||
+            !anf_out.empty()) {
+            std::fprintf(stderr,
+                         "--batch does not support --solve, --portfolio, "
+                         "--cnf or --anfout\n");
+            return 2;
+        }
+        return run_batch(batch_files, opt, n_threads);
+    }
     if (anf_in.empty() == cnf_in.empty()) {
         usage();
         return 2;
@@ -143,6 +204,15 @@ int run(int argc, char** argv) {
     if (!problem.ok()) return fail(problem.status());
     const size_t problem_vars = problem->num_vars();
 
+    OutputOptions out_opt;
+    out_opt.cnf_out = cnf_out;
+    out_opt.anf_out = anf_out;
+    out_opt.solve_after = solve_after;
+    out_opt.solver_kind = *solver_kind;
+
+    if (portfolio_mode)
+        return run_portfolio(*problem, opt, n_threads, problem_vars, out_opt);
+
     Engine engine(opt);
     const Result<Report> run = engine.run(*problem);
     if (!run.ok()) return fail(run.status());
@@ -155,14 +225,21 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "; vars fixed=%zu replaced=%zu\n", res.vars_fixed,
                  res.vars_replaced);
 
-    if (!anf_out.empty()) {
-        std::ofstream out(anf_out);
-        if (!out) return fail(Status::io_error("cannot write " + anf_out));
+    return finish_run(res, out_opt, problem_vars);
+}
+
+int finish_run(const Report& res, const OutputOptions& out_opt,
+               size_t problem_vars) {
+    if (!out_opt.anf_out.empty()) {
+        std::ofstream out(out_opt.anf_out);
+        if (!out)
+            return fail(Status::io_error("cannot write " + out_opt.anf_out));
         anf::write_system(out, res.processed_anf);
     }
-    if (!cnf_out.empty()) {
-        std::ofstream out(cnf_out);
-        if (!out) return fail(Status::io_error("cannot write " + cnf_out));
+    if (!out_opt.cnf_out.empty()) {
+        std::ofstream out(out_opt.cnf_out);
+        if (!out)
+            return fail(Status::io_error("cannot write " + out_opt.cnf_out));
         sat::write_dimacs(out, res.processed_cnf.cnf);
     }
 
@@ -176,9 +253,9 @@ int run(int argc, char** argv) {
         return 10;
     }
 
-    if (solve_after) {
+    if (out_opt.solve_after) {
         const sat::SolveOutcome so =
-            sat::solve_cnf(res.processed_cnf.cnf, *solver_kind);
+            sat::solve_cnf(res.processed_cnf.cnf, out_opt.solver_kind);
         if (so.result == sat::Result::kUnsat) {
             std::puts("s UNSATISFIABLE");
             return 20;
@@ -197,6 +274,80 @@ int run(int argc, char** argv) {
 
     std::puts("s UNKNOWN");
     return 0;
+}
+
+/// `--batch`: every input file becomes a Problem (*.cnf/*.dimacs load as
+/// DIMACS, everything else as ANF text) and the whole set runs through
+/// BatchEngine across the thread pool. Per-file verdict lines go to
+/// stdout; a machine-greppable summary closes the run.
+int run_batch(const std::vector<std::string>& files, const EngineConfig& opt,
+              unsigned n_threads) {
+    auto is_cnf = [](const std::string& f) {
+        return f.ends_with(".cnf") || f.ends_with(".dimacs");
+    };
+
+    std::vector<Problem> problems;
+    problems.reserve(files.size());
+    for (const auto& f : files) {
+        Result<Problem> p =
+            is_cnf(f) ? Problem::from_cnf_file(f) : Problem::from_anf_file(f);
+        if (!p.ok()) return fail(p.status());
+        problems.push_back(std::move(*p));
+    }
+
+    const Timer timer;
+    BatchEngine batch(opt);
+    const std::vector<Result<Report>> results =
+        batch.solve_all(problems, n_threads);
+
+    size_t n_sat = 0, n_unsat = 0, n_unknown = 0, n_error = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (!r.ok()) {
+            ++n_error;
+            std::printf("i %zu %s ERROR %s\n", i, files[i].c_str(),
+                        r.status().to_string().c_str());
+            continue;
+        }
+        if (r->verdict == sat::Result::kSat) ++n_sat;
+        else if (r->verdict == sat::Result::kUnsat) ++n_unsat;
+        else ++n_unknown;
+        std::printf("i %zu %s %s iters=%zu facts=%zu %.2fs\n", i,
+                    files[i].c_str(), verdict_name(r->verdict), r->iterations,
+                    r->total_facts(), r->seconds);
+    }
+    std::printf(
+        "c batch: %zu instances, %u threads, sat=%zu unsat=%zu unknown=%zu "
+        "error=%zu, %.2fs wall\n",
+        results.size(), BatchEngine::threads_for(results.size(), n_threads),
+        n_sat, n_unsat, n_unknown, n_error, timer.seconds());
+    return n_error == 0 ? 0 : 2;
+}
+
+/// `--portfolio`: race the standard four configurations (see
+/// default_portfolio) on one instance; then treat the winner's Report
+/// exactly like a plain run's -- --cnf/--anfout/--solve all apply -- so
+/// scripts cannot tell it from a plain run.
+int run_portfolio(const Problem& problem, const EngineConfig& opt,
+                  unsigned n_threads, size_t problem_vars,
+                  const OutputOptions& out_opt) {
+    const std::vector<PortfolioEntry> entries = default_portfolio(opt);
+    const Result<PortfolioReport> run =
+        solve_portfolio(problem, entries, n_threads);
+    if (!run.ok()) return fail(run.status());
+
+    for (const auto& o : run->outcomes) {
+        std::fprintf(stderr,
+                     "c portfolio: %-13s %-7s %s iters=%zu facts=%zu %.2fs\n",
+                     o.name.c_str(), verdict_name(o.verdict),
+                     o.errored ? "error" : o.interrupted ? "cancelled"
+                                                         : "finished",
+                     o.iterations, o.facts, o.seconds);
+    }
+    std::fprintf(stderr, "c portfolio winner: %s (%.2fs total)\n",
+                 run->winner_name.c_str(), run->seconds);
+
+    return finish_run(run->report, out_opt, problem_vars);
 }
 
 }  // namespace

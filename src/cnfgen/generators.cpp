@@ -10,6 +10,33 @@ using sat::Lit;
 using sat::mk_lit;
 using sat::Var;
 
+PlantedAnf planted_quadratic_anf(size_t num_vars, size_t num_eqs,
+                                 unsigned quadratic_terms,
+                                 unsigned linear_terms, Rng& rng) {
+    PlantedAnf out;
+    out.num_vars = num_vars;
+    out.planted.resize(num_vars);
+    for (size_t v = 0; v < num_vars; ++v) out.planted[v] = rng.coin();
+
+    out.polys.reserve(num_eqs);
+    for (size_t e = 0; e < num_eqs; ++e) {
+        anf::Polynomial p;
+        for (unsigned q = 0; q < quadratic_terms; ++q) {
+            const auto a = static_cast<anf::Var>(rng.below(num_vars));
+            const auto b = static_cast<anf::Var>(rng.below(num_vars));
+            p += anf::Polynomial::variable(a) * anf::Polynomial::variable(b);
+        }
+        for (unsigned l = 0; l < linear_terms; ++l) {
+            const auto a = static_cast<anf::Var>(rng.below(num_vars));
+            p += anf::Polynomial::variable(a);
+        }
+        if (p.evaluate(out.planted)) p += anf::Polynomial::constant(true);
+        if (p.is_zero()) { --e; continue; }  // degenerate draw, redo
+        out.polys.push_back(std::move(p));
+    }
+    return out;
+}
+
 Cnf random_ksat(size_t num_vars, size_t num_clauses, unsigned k, Rng& rng) {
     Cnf cnf;
     cnf.num_vars = num_vars;

@@ -14,10 +14,28 @@
 #include <string>
 #include <vector>
 
+#include "anf/polynomial.h"
 #include "sat/types.h"
 #include "util/rng.h"
 
 namespace bosphorus::cnfgen {
+
+/// A random quadratic ANF system with a planted satisfying assignment.
+struct PlantedAnf {
+    std::vector<anf::Polynomial> polys;
+    size_t num_vars = 0;
+    std::vector<bool> planted;  ///< the planted model (always satisfies)
+};
+
+/// Generate `num_eqs` polynomials, each the sum of `quadratic_terms`
+/// random degree-2 monomials and `linear_terms` random variables, with
+/// the constant term adjusted so `planted` is a root -- guaranteed SAT,
+/// dense enough that XL/ElimLin do real elimination work. Shared by the
+/// batch determinism test and bench_batch_throughput so both exercise the
+/// same instance family.
+PlantedAnf planted_quadratic_anf(size_t num_vars, size_t num_eqs,
+                                 unsigned quadratic_terms,
+                                 unsigned linear_terms, Rng& rng);
 
 /// Uniform random k-SAT with `num_clauses` clauses over `num_vars`
 /// variables (distinct variables per clause). At ratio ~4.26 (k = 3) the

@@ -12,8 +12,9 @@ using anf::Var;
 
 std::vector<Polynomial> run_elimlin(const std::vector<Polynomial>& system,
                                     const ElimLinConfig& cfg, Rng& rng,
-                                    ElimLinStats* stats) {
-    if (system.empty()) return {};
+                                    ElimLinStats* stats,
+                                    const runtime::CancellationToken& cancel) {
+    if (system.empty() || cancel.cancelled()) return {};
 
     const size_t sample_budget = size_t{1} << std::min(cfg.m_budget, 48u);
     const std::vector<size_t> chosen = subsample(system, sample_budget, rng);
@@ -32,9 +33,11 @@ std::vector<Polynomial> run_elimlin(const std::vector<Polynomial>& system,
     };
 
     for (; iterations < cfg.max_iterations; ++iterations) {
-        // Step (1): GJE on the linearisation.
+        // Cancellation boundary: one eliminate-substitute round.
+        if (cancel.cancelled()) break;
+        // Step (1): GJE on the linearisation (M4R by default).
         Linearization lin = linearize(work);
-        lin.matrix.rref();
+        reduce(lin, cfg.use_m4r);
 
         // Step (2): gather linear equations from the reduced rows.
         std::vector<Polynomial> linear;
@@ -66,6 +69,7 @@ std::vector<Polynomial> run_elimlin(const std::vector<Polynomial>& system,
         work = std::move(nonlinear);
         std::vector<Polynomial> pending(linear.begin(), linear.end());
         for (size_t li = 0; li < pending.size(); ++li) {
+            if (cancel.cancelled()) break;  // substitution sub-boundary
             Polynomial l = pending[li];
             if (l.is_zero()) continue;
             if (l.is_one()) {

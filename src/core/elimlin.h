@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "anf/polynomial.h"
+#include "runtime/cancellation.h"
 #include "util/rng.h"
 
 namespace bosphorus::core {
@@ -19,6 +20,8 @@ namespace bosphorus::core {
 struct ElimLinConfig {
     unsigned m_budget = 30;  ///< M: subsample until m'*n' >= 2^M
     unsigned max_iterations = 64;
+    /// Eliminate with the Method of Four Russians (see XlConfig::use_m4r).
+    bool use_m4r = true;
 };
 
 struct ElimLinStats {
@@ -28,8 +31,13 @@ struct ElimLinStats {
     size_t facts = 0;
 };
 
+/// Run ElimLin to fixed point. `cancel` is polled at every outer
+/// (eliminate-substitute) iteration boundary; a cancelled run returns the
+/// facts learnt so far -- they are sound, substitution preserves the
+/// solution set.
 std::vector<anf::Polynomial> run_elimlin(
     const std::vector<anf::Polynomial>& system, const ElimLinConfig& cfg,
-    Rng& rng, ElimLinStats* stats = nullptr);
+    Rng& rng, ElimLinStats* stats = nullptr,
+    const runtime::CancellationToken& cancel = {});
 
 }  // namespace bosphorus::core

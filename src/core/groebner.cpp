@@ -29,8 +29,9 @@ Monomial cofactor(const Monomial& target, const Monomial& m) {
 
 std::vector<Polynomial> run_groebner(const std::vector<Polynomial>& system,
                                      const GroebnerConfig& cfg, Rng& rng,
-                                     GroebnerStats* stats) {
-    if (system.empty()) return {};
+                                     GroebnerStats* stats,
+                                     const runtime::CancellationToken& cancel) {
+    if (system.empty() || cancel.cancelled()) return {};
 
     // Subsample like XL/ElimLin so huge systems stay affordable.
     const size_t budget = size_t{1} << std::min(cfg.m_budget, 48u);
@@ -48,6 +49,8 @@ std::vector<Polynomial> run_groebner(const std::vector<Polynomial>& system,
     size_t spairs_total = 0;
     size_t round = 0;
     for (; round < cfg.rounds; ++round) {
+        // Cancellation boundary: one F4 round.
+        if (cancel.cancelled()) break;
         // Form S-polynomials of basis pairs under the degree bound.
         // spoly(f, g) = (lcm / lm(f)) f + (lcm / lm(g)) g cancels the
         // leading terms; a nonzero remainder after reduction is new
@@ -77,9 +80,9 @@ std::vector<Polynomial> run_groebner(const std::vector<Polynomial>& system,
         if (pairs == 0) break;
 
         // F4-style simultaneous reduction: one Gauss-Jordan elimination
-        // over the linearisation of basis + S-polynomials.
+        // over the linearisation of basis + S-polynomials (M4R by default).
         Linearization lin = linearize(batch);
-        lin.matrix.rref();
+        reduce(lin, cfg.use_m4r);
 
         bool contradiction = false;
         std::vector<Polynomial> next_basis;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "anf/polynomial.h"
+#include "runtime/cancellation.h"
 #include "util/rng.h"
 
 namespace bosphorus::core {
@@ -31,6 +32,8 @@ struct GroebnerConfig {
     size_t max_basis = 4096;       ///< cap on tracked basis polynomials
     size_t max_pairs = 20'000;     ///< cap on S-pairs per round
     unsigned m_budget = 20;        ///< subsample budget 2^M (like XL/ElimLin)
+    /// Eliminate with the Method of Four Russians (see XlConfig::use_m4r).
+    bool use_m4r = true;
 };
 
 struct GroebnerStats {
@@ -42,9 +45,11 @@ struct GroebnerStats {
 
 /// One invocation of the degree-bounded F4 loop. Returns learnt facts
 /// (linear equations and monomial facts; the constant-1 polynomial means
-/// the ideal is trivial, i.e. the system is UNSAT).
+/// the ideal is trivial, i.e. the system is UNSAT). `cancel` is polled at
+/// every F4 round boundary; a cancelled run returns the facts found so far.
 std::vector<anf::Polynomial> run_groebner(
     const std::vector<anf::Polynomial>& system, const GroebnerConfig& cfg,
-    Rng& rng, GroebnerStats* stats = nullptr);
+    Rng& rng, GroebnerStats* stats = nullptr,
+    const runtime::CancellationToken& cancel = {});
 
 }  // namespace bosphorus::core

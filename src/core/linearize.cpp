@@ -31,6 +31,19 @@ Linearization linearize(const std::vector<Polynomial>& polys) {
     return lin;
 }
 
+size_t reduce(Linearization& lin, bool use_m4r) {
+    // Tiny matrices gain nothing from the 2^k table setup; keep them on
+    // the plain path even when M4R is requested.
+    if (!use_m4r || lin.rows() < 16 || lin.cols() < 16) {
+        // Requesting pivot columns pins rref() to plain Gauss-Jordan
+        // (its no-argument form auto-dispatches big matrices to M4R,
+        // which would make the use_m4r=false path a silent no-op).
+        std::vector<size_t> pivots;
+        return lin.matrix.rref(&pivots);
+    }
+    return lin.matrix.rref_m4r();
+}
+
 Polynomial row_to_polynomial(const Linearization& lin, size_t row) {
     std::vector<Monomial> monos;
     for (size_t c = 0; c < lin.cols(); ++c) {

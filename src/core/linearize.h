@@ -32,6 +32,15 @@ struct Linearization {
 /// Build the linearised matrix of a polynomial system.
 Linearization linearize(const std::vector<anf::Polynomial>& polys);
 
+/// Reduce the linearised matrix to RREF and return its rank. This is the
+/// one elimination entry point the hot loops (XL, ElimLin, Groebner) go
+/// through: with `use_m4r` (the default) it runs the Method of Four
+/// Russians; without, plain Gauss-Jordan (genuinely plain -- the
+/// auto-dispatch inside Matrix::rref is bypassed). Both produce the
+/// identical reduced matrix, so the flag is a pure performance switch
+/// (see XlConfig::use_m4r).
+size_t reduce(Linearization& lin, bool use_m4r = true);
+
 /// Reconstruct the polynomial encoded by a matrix row.
 anf::Polynomial row_to_polynomial(const Linearization& lin, size_t row);
 

@@ -47,8 +47,9 @@ void for_each_multiplier(const std::vector<Var>& vars, unsigned max_degree,
 }  // namespace
 
 std::vector<Polynomial> run_xl(const std::vector<Polynomial>& system,
-                               const XlConfig& cfg, Rng& rng, XlStats* stats) {
-    if (system.empty()) return {};
+                               const XlConfig& cfg, Rng& rng, XlStats* stats,
+                               const runtime::CancellationToken& cancel) {
+    if (system.empty() || cancel.cancelled()) return {};
 
     const size_t sample_budget = size_t{1} << std::min(cfg.m_budget, 48u);
     const size_t expand_budget = size_t{1}
@@ -88,6 +89,8 @@ std::vector<Polynomial> run_xl(const std::vector<Polynomial>& system,
 
     for (const auto& p : sampled) {
         if (!size_ok()) break;
+        // Cancellation boundary: one source polynomial's multiplier batch.
+        if (cancel.cancelled()) return {};
         bool keep_going = true;
         for_each_multiplier(vars, cfg.degree, [&](const Monomial& mul) {
             Polynomial prod = p * mul;
@@ -101,9 +104,13 @@ std::vector<Polynomial> run_xl(const std::vector<Polynomial>& system,
         if (!keep_going) break;
     }
 
-    // 3. Gauss-Jordan elimination on the linearisation.
+    // 3. Gauss-Jordan elimination on the linearisation (M4R by default).
+    // No cancellation check after the elimination: once the expensive
+    // reduction has completed, extracting its facts is cheap and they are
+    // sound -- a cancelled run keeps them ("facts gathered so far").
+    if (cancel.cancelled()) return {};
     Linearization lin = linearize(expanded);
-    const size_t rank = lin.matrix.rref();
+    const size_t rank = reduce(lin, cfg.use_m4r);
 
     std::vector<Polynomial> facts = extract_facts(lin);
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "anf/polynomial.h"
+#include "runtime/cancellation.h"
 #include "util/rng.h"
 
 namespace bosphorus::core {
@@ -20,6 +21,11 @@ struct XlConfig {
     unsigned degree = 1;   ///< D: maximal multiplier monomial degree
     unsigned m_budget = 30;   ///< M: subsample until m'*n' >= 2^M
     unsigned delta_m = 4;  ///< deltaM: expansion cap 2^(M + deltaM)
+    /// Eliminate with the Method of Four Russians (rref_m4r) instead of
+    /// plain Gauss-Jordan. Identical results, asymptotically faster on
+    /// the dense linearisations XL produces; off forces plain elimination
+    /// (see core::reduce).
+    bool use_m4r = true;
 };
 
 struct XlStats {
@@ -31,9 +37,12 @@ struct XlStats {
 };
 
 /// Run one XL pass. Returns the learnt facts (possibly including the
-/// constant-1 polynomial, meaning the system is UNSAT).
-std::vector<anf::Polynomial> run_xl(const std::vector<anf::Polynomial>& system,
-                                    const XlConfig& cfg, Rng& rng,
-                                    XlStats* stats = nullptr);
+/// constant-1 polynomial, meaning the system is UNSAT). `cancel` is polled
+/// at expansion-batch boundaries and around the elimination; a cancelled
+/// run returns the (possibly empty) facts gathered so far.
+std::vector<anf::Polynomial> run_xl(
+    const std::vector<anf::Polynomial>& system, const XlConfig& cfg, Rng& rng,
+    XlStats* stats = nullptr,
+    const runtime::CancellationToken& cancel = {});
 
 }  // namespace bosphorus::core

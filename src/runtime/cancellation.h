@@ -1,0 +1,97 @@
+// Cooperative cancellation for the concurrency runtime.
+//
+// A `CancellationSource` owns a cancel flag; the `CancellationToken`s it
+// hands out observe that flag. Tokens are cheap value types (two shared
+// pointers) that the Engine threads down through `FactSink` into the core
+// XL/ElimLin/Groebner loops, which poll `cancelled()` at iteration
+// boundaries -- this is what makes portfolio first-finisher cancellation
+// and user interrupts prompt instead of step-granular.
+//
+// Thread safety: `request_cancel()` may race freely with `cancelled()`
+// (the flag is an atomic with acquire/release ordering). A token built
+// with `linked()` additionally polls a predicate (e.g. the user's
+// interrupt callback); that predicate is invoked from whichever thread
+// polls the token, so it must itself be thread-safe when the token is
+// shared across threads.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace bosphorus::runtime {
+
+/// Observer half of a cancellation pair. Default-constructed tokens are
+/// never cancelled ("no cancellation requested, nothing to poll").
+class CancellationToken {
+public:
+    CancellationToken() = default;
+
+    /// True once the owning source requested cancellation, or the linked
+    /// predicate (if any) returns true. Safe to call from any thread.
+    bool cancelled() const {
+        if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+        if (pred_ && *pred_ && (*pred_)()) return true;
+        return false;
+    }
+
+    /// True iff this token can ever report cancellation (it observes a
+    /// source and/or carries a predicate).
+    bool can_cancel() const { return flag_ != nullptr || pred_ != nullptr; }
+
+    /// A token that reports cancellation when `base` does *or* when
+    /// `predicate` returns true. Used by the Engine to fold the legacy
+    /// interrupt callback into the token it threads through the core
+    /// loops. A null predicate just returns `base`; a predicate already
+    /// carried by `base` keeps being polled (the two are chained).
+    static CancellationToken linked(CancellationToken base,
+                                    std::function<bool()> predicate) {
+        if (!predicate) return base;
+        CancellationToken t = std::move(base);
+        if (t.pred_ && *t.pred_) {
+            auto prev = t.pred_;
+            t.pred_ = std::make_shared<const std::function<bool()>>(
+                [prev, next = std::move(predicate)] {
+                    return (*prev)() || next();
+                });
+        } else {
+            t.pred_ = std::make_shared<const std::function<bool()>>(
+                std::move(predicate));
+        }
+        return t;
+    }
+
+private:
+    friend class CancellationSource;
+    explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+        : flag_(std::move(flag)) {}
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+    std::shared_ptr<const std::function<bool()>> pred_;
+};
+
+/// Owner half: create one per cancellable operation, hand `token()` to the
+/// workers, call `request_cancel()` to stop them. Copying a source shares
+/// the same flag.
+class CancellationSource {
+public:
+    CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /// Ask every holder of `token()` to stop at its next poll point.
+    /// Idempotent; safe from any thread.
+    void request_cancel() { flag_->store(true, std::memory_order_release); }
+
+    /// True once request_cancel() has been called.
+    bool cancel_requested() const {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    /// A token observing this source's flag.
+    CancellationToken token() const { return CancellationToken(flag_); }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace bosphorus::runtime

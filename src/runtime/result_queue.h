@@ -1,0 +1,83 @@
+// Blocking multi-producer/multi-consumer result channel.
+//
+// Batch and portfolio workers push completed results; the coordinating
+// thread pops them as they arrive (first finisher first -- this is what
+// lets the portfolio cancel the losers the moment a winner lands, instead
+// of joining in submission order). `close()` wakes all blocked consumers;
+// a closed, drained queue reports "no more results".
+//
+// Thread safety: every member is safe to call concurrently (one mutex, two
+// condition-free paths: `try_pop` never blocks, `pop` blocks until an item
+// or close).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bosphorus::runtime {
+
+template <typename T>
+class ResultQueue {
+public:
+    ResultQueue() = default;
+    ResultQueue(const ResultQueue&) = delete;
+    ResultQueue& operator=(const ResultQueue&) = delete;
+
+    /// Enqueue a result and wake one consumer. Pushing to a closed queue
+    /// is a no-op (the batch was abandoned; the result is dropped).
+    void push(T value) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (closed_) return;
+            items_.push_back(std::move(value));
+        }
+        cv_.notify_one();
+    }
+
+    /// Block until a result is available or the queue is closed and
+    /// drained. Returns nullopt only in the latter case.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T out = std::move(items_.front());
+        items_.pop_front();
+        return out;
+    }
+
+    /// Non-blocking pop: a result if one is ready, nullopt otherwise.
+    std::optional<T> try_pop() {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (items_.empty()) return std::nullopt;
+        T out = std::move(items_.front());
+        items_.pop_front();
+        return out;
+    }
+
+    /// No further pushes will be accepted; blocked consumers drain the
+    /// remaining items and then receive nullopt.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for stats/tests only).
+    size_t size() const {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return items_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace bosphorus::runtime

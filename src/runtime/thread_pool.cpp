@@ -1,0 +1,119 @@
+#include "runtime/thread_pool.h"
+
+namespace bosphorus::runtime {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its index.
+// Lets submit-from-a-task push to the submitting worker's own deque, the
+// move that makes stealing rare in recursive fan-out.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+}  // namespace
+
+unsigned ThreadPool::default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+    if (n_threads == 0) n_threads = default_thread_count();
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(wake_mutex_);
+        stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    // Own deque when called from a worker of this pool, round-robin
+    // otherwise.
+    size_t target;
+    if (tl_pool == this) {
+        target = tl_worker;
+    } else {
+        target = next_victim_.fetch_add(1, std::memory_order_relaxed) %
+                 workers_.size();
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(workers_[target]->mutex);
+        workers_[target]->deque.push_back(std::move(task));
+    }
+    {
+        // Lock-then-notify so a worker that just found its queues empty and
+        // is about to sleep re-checks the predicate before blocking.
+        std::lock_guard<std::mutex> lk(wake_mutex_);
+    }
+    wake_cv_.notify_one();
+}
+
+bool ThreadPool::take_task(size_t self, std::function<void()>& out) {
+    // Own work first, newest first (LIFO).
+    {
+        Worker& w = *workers_[self];
+        std::lock_guard<std::mutex> lk(w.mutex);
+        if (!w.deque.empty()) {
+            out = std::move(w.deque.back());
+            w.deque.pop_back();
+            return true;
+        }
+    }
+    // Steal the *oldest* task from someone else (FIFO end).
+    const size_t n = workers_.size();
+    for (size_t off = 1; off < n; ++off) {
+        Worker& v = *workers_[(self + off) % n];
+        std::lock_guard<std::mutex> lk(v.mutex);
+        if (!v.deque.empty()) {
+            out = std::move(v.deque.front());
+            v.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool ThreadPool::queues_empty() {
+    for (auto& w : workers_) {
+        std::lock_guard<std::mutex> lk(w->mutex);
+        if (!w->deque.empty()) return false;
+    }
+    return true;
+}
+
+void ThreadPool::worker_loop(size_t self) {
+    tl_pool = this;
+    tl_worker = self;
+    std::function<void()> task;
+    for (;;) {
+        if (take_task(self, task)) {
+            task();
+            task = nullptr;  // release captures before sleeping
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lk(wake_mutex_);
+                idle_cv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(wake_mutex_);
+        wake_cv_.wait(lk, [&] { return stopping_ || !queues_empty(); });
+        if (stopping_ && queues_empty()) return;
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lk(wake_mutex_);
+    idle_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) ==
+                                   0; });
+}
+
+}  // namespace bosphorus::runtime

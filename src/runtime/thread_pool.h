@@ -1,0 +1,97 @@
+// Work-stealing thread pool -- the execution substrate of the batch and
+// portfolio runtimes.
+//
+// Each worker owns a deque protected by its own mutex: the worker pops
+// from the back (LIFO, cache-friendly for task trees), and idle workers
+// steal from the *front* of a victim's deque (FIFO, takes the oldest --
+// the classic Chase-Lev discipline, here with per-deque locks instead of
+// lock-free buffers because batch tasks are milliseconds-to-seconds long
+// and the queue is never the bottleneck). `submit` from a worker thread
+// pushes to that worker's own deque; external submits round-robin.
+//
+// Lifetime: the destructor drains every queued task, then joins. Use
+// `wait_idle()` to block until all submitted work has finished without
+// tearing the pool down.
+//
+// Thread safety: `submit`, `async` and `wait_idle` may be called from any
+// thread, including from inside a running task (but a task must not
+// `wait_idle()` on its own pool -- that deadlocks on 1 worker).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bosphorus::runtime {
+
+class ThreadPool {
+public:
+    /// Spawn `n_threads` workers; 0 means `default_thread_count()`.
+    explicit ThreadPool(unsigned n_threads = 0);
+
+    /// Drains all queued tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a task. Never blocks (queues are unbounded).
+    void submit(std::function<void()> task);
+
+    /// Enqueue a callable and get a future for its result. Exceptions
+    /// thrown by `fn` surface through the future.
+    template <typename Fn>
+    auto async(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        submit([task]() { (*task)(); });
+        return fut;
+    }
+
+    /// Block until every task submitted so far has finished. May be called
+    /// concurrently with further submits (returns when the pending count
+    /// hits zero).
+    void wait_idle();
+
+    /// Number of worker threads.
+    unsigned num_threads() const {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// `std::thread::hardware_concurrency()`, clamped to at least 1.
+    static unsigned default_thread_count();
+
+private:
+    struct Worker {
+        std::deque<std::function<void()>> deque;  // guarded by `mutex`
+        std::mutex mutex;
+    };
+
+    void worker_loop(size_t self);
+    /// Pop from own back, else steal from another worker's front.
+    bool take_task(size_t self, std::function<void()>& out);
+    bool queues_empty();
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex wake_mutex_;           // guards the two condition variables
+    std::condition_variable wake_cv_;  // "work may be available"
+    std::condition_variable idle_cv_;  // "pending_ reached zero"
+
+    std::atomic<size_t> pending_{0};     // submitted but not yet finished
+    std::atomic<size_t> next_victim_{0};  // round-robin for external submits
+    bool stopping_ = false;               // guarded by wake_mutex_
+};
+
+}  // namespace bosphorus::runtime

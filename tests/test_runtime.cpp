@@ -1,0 +1,213 @@
+// Unit tests for the concurrency runtime: work-stealing ThreadPool,
+// CancellationSource/Token, and the blocking ResultQueue. These are the
+// suites the ThreadSanitizer CI job leans on hardest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancellation.h"
+#include "runtime/result_queue.h"
+#include "runtime/thread_pool.h"
+
+namespace bosphorus::runtime {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait_idle();
+        EXPECT_EQ(count.load(), 200);
+    }  // destructor drains + joins
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        // No wait_idle: teardown itself must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, AsyncReturnsValuesAndPropagatesExceptions) {
+    ThreadPool pool(2);
+    auto ok = pool.async([] { return 6 * 7; });
+    auto boom = pool.async([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+    // Recursive fan-out: tasks submitted from worker threads land on the
+    // submitting worker's own deque and get stolen by the others.
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            for (int j = 0; j < 8; ++j)
+                pool.submit([&count] { count.fetch_add(1); });
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+    std::atomic<int> count{0};
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+    EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+// ---- CancellationToken -----------------------------------------------------
+
+TEST(Cancellation, DefaultTokenNeverCancels) {
+    CancellationToken token;
+    EXPECT_FALSE(token.can_cancel());
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancellation, SourceFiresItsTokens) {
+    CancellationSource source;
+    CancellationToken token = source.token();
+    EXPECT_TRUE(token.can_cancel());
+    EXPECT_FALSE(token.cancelled());
+    source.request_cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(source.cancel_requested());
+}
+
+TEST(Cancellation, TokenOutlivesSourceCopies) {
+    CancellationToken token;
+    {
+        CancellationSource source;
+        token = source.token();
+        source.request_cancel();
+    }  // source destroyed; the shared flag lives on
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancellation, LinkedPredicateComposesWithFlag) {
+    CancellationSource source;
+    bool flag = false;
+    CancellationToken token = CancellationToken::linked(
+        source.token(), [&flag] { return flag; });
+    EXPECT_FALSE(token.cancelled());
+    flag = true;  // predicate path
+    EXPECT_TRUE(token.cancelled());
+    flag = false;
+    source.request_cancel();  // flag path
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancellation, LinkedChainsAnExistingPredicate) {
+    // Folding a second predicate in (as Engine::run does with the user's
+    // interrupt callback) must keep the first one polled too.
+    bool a = false, b = false;
+    CancellationToken token =
+        CancellationToken::linked(CancellationToken{}, [&a] { return a; });
+    token = CancellationToken::linked(token, [&b] { return b; });
+    EXPECT_FALSE(token.cancelled());
+    a = true;
+    EXPECT_TRUE(token.cancelled());
+    a = false;
+    b = true;
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancellation, LinkedWithNullPredicateIsBase) {
+    CancellationSource source;
+    CancellationToken token = CancellationToken::linked(source.token(), {});
+    EXPECT_FALSE(token.cancelled());
+    source.request_cancel();
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancellation, VisibleAcrossThreads) {
+    CancellationSource source;
+    CancellationToken token = source.token();
+    std::atomic<bool> worker_saw_cancel{false};
+    std::thread worker([&] {
+        while (!token.cancelled())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        worker_saw_cancel.store(true);
+    });
+    source.request_cancel();
+    worker.join();
+    EXPECT_TRUE(worker_saw_cancel.load());
+}
+
+// ---- ResultQueue -----------------------------------------------------------
+
+TEST(ResultQueue, FifoThroughOneProducer) {
+    ResultQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), std::optional<int>(1));
+    EXPECT_EQ(q.try_pop(), std::optional<int>(2));
+    EXPECT_EQ(q.pop(), std::optional<int>(3));
+    EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(ResultQueue, CloseWakesBlockedConsumer) {
+    ResultQueue<int> q;
+    std::thread consumer([&q] { EXPECT_EQ(q.pop(), std::nullopt); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    consumer.join();
+}
+
+TEST(ResultQueue, DrainsRemainingItemsAfterClose) {
+    ResultQueue<int> q;
+    q.push(7);
+    q.close();
+    q.push(8);  // dropped: the queue is closed
+    EXPECT_EQ(q.pop(), std::optional<int>(7));
+    EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(ResultQueue, ManyProducersOneConsumer) {
+    ResultQueue<int> q;
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 50;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i) q.push(p * 1000 + i);
+        });
+    }
+    int received = 0;
+    long long sum = 0;
+    while (received < kProducers * kPerProducer) {
+        auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        sum += *v;
+        ++received;
+    }
+    for (auto& t : producers) t.join();
+    long long expected = 0;
+    for (int p = 0; p < kProducers; ++p)
+        for (int i = 0; i < kPerProducer; ++i) expected += p * 1000 + i;
+    EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace bosphorus::runtime
