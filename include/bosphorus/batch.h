@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bosphorus/engine.h"
@@ -44,6 +45,12 @@
 #include "runtime/cancellation.h"
 
 namespace bosphorus {
+
+/// One (variable, value) assumption of a sweep candidate.
+using Assumption = std::pair<anf::Var, bool>;
+/// One sweep candidate: the assumptions a worker applies inside a fresh
+/// Session scope before solving.
+using AssumptionSet = std::vector<Assumption>;
 
 /// One configuration racing in a portfolio.
 struct PortfolioEntry {
@@ -129,6 +136,31 @@ public:
     std::vector<Result<Report>> solve_all(
         const std::vector<Problem>& problems, unsigned n_threads = 0,
         const BatchCallback& on_result = nullptr) const;
+
+    /// Sweep many assumption sets over ONE shared base problem -- the
+    /// incremental counterpart of solve_all for guess-and-determine and
+    /// key-recovery workloads. The candidate list is split into
+    /// contiguous blocks, one per worker; each worker materialises the
+    /// base into a private bosphorus/session.h Session *once* and then,
+    /// per candidate, does push() / assume each (var, value) / solve() /
+    /// pop() -- so the base simplification cost is paid `n_threads`
+    /// times instead of `candidates.size()` times, and every solve after
+    /// a worker's first is warm.
+    ///
+    /// Results are returned in candidate order. Verdicts and (for
+    /// instances with a unique model under their assumptions) solutions
+    /// match a cold per-candidate Engine::run loop; Report counters
+    /// (iterations, fact tallies) reflect the warm solve that actually
+    /// ran. The block partition depends only on (candidates.size(),
+    /// n_threads), never on scheduling, so a fixed thread count gives
+    /// bit-identical results run to run.
+    ///
+    /// An out-of-range assumption variable fails that candidate's slot
+    /// with kInvalidArgument; it does not abort the sweep. Cancellation
+    /// behaves as in solve_all.
+    std::vector<Result<Report>> solve_all_incremental(
+        const Problem& base, const std::vector<AssumptionSet>& candidates,
+        unsigned n_threads = 0, const BatchCallback& on_result = nullptr) const;
 
     /// Attach a cancellation token aborting the whole batch: instances
     /// not yet started return Status kInterrupted, instances in flight

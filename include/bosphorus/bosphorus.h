@@ -25,6 +25,20 @@
 #include "bosphorus/batch.h"     // IWYU pragma: export
 #include "bosphorus/engine.h"    // IWYU pragma: export
 #include "bosphorus/problem.h"   // IWYU pragma: export
+#include "bosphorus/session.h"   // IWYU pragma: export
 #include "bosphorus/solve.h"     // IWYU pragma: export
 #include "bosphorus/status.h"    // IWYU pragma: export
 #include "bosphorus/technique.h" // IWYU pragma: export
+
+/// Library major version; bumped on breaking public-API changes.
+#define BOSPHORUS_VERSION_MAJOR 0
+/// Library minor version; bumped per feature release (one per PR train).
+#define BOSPHORUS_VERSION_MINOR 3
+
+namespace bosphorus {
+
+/// The library version as a "major.minor" string (matches the
+/// BOSPHORUS_VERSION_* macros); what the CLI prints for --version.
+const char* version();
+
+}  // namespace bosphorus

@@ -79,6 +79,12 @@ struct EngineConfig {
     /// independent of scheduling.
     uint64_t seed = 1;
     int verbosity = 0;  ///< 0 silent; higher = more stderr logging
+
+    /// Populate Report::processed_anf / processed_cnf after the loop. The
+    /// CNF conversion is a fixed per-run cost; sweep workloads that only
+    /// consume verdicts/solutions (Session re-solves,
+    /// BatchEngine::solve_all_incremental) can turn it off.
+    bool emit_processed = true;
 };
 
 /// Live counters handed to the progress callback after every technique step.
@@ -151,6 +157,11 @@ public:
     /// An Engine with the paper's default parameters (EngineConfig{}).
     Engine() : Engine(EngineConfig{}) {}
 
+    Engine(const Engine&) = delete;  ///< move-only: techniques are stateful
+    Engine& operator=(const Engine&) = delete;  ///< move-only (see above)
+    Engine(Engine&&) = default;             ///< engines are cheap to move
+    Engine& operator=(Engine&&) = default;  ///< engines are cheap to move
+
     /// Append a technique to the registry (runs after the existing ones,
     /// in every iteration of the loop).
     Engine& add_technique(std::unique_ptr<Technique> technique);
@@ -182,6 +193,12 @@ public:
     /// Status is returned only for malformed inputs; interrupt, timeout
     /// and cancellation still yield a (partial) Report.
     ///
+    /// Implemented as a thin one-shot wrapper over a throwaway
+    /// bosphorus/session.h Session: the Engine lends the Session its
+    /// technique registry and hooks, solves once cold, and discards the
+    /// Session's state. Keep the Session yourself when you will ask the
+    /// same base system more than one question.
+    ///
     /// Thread safety: one Engine serves one run at a time (techniques are
     /// stateful across steps). For concurrent runs give each thread its
     /// own Engine -- they are cheap to construct -- or use BatchEngine,
@@ -208,5 +225,11 @@ private:
     ProgressCallback progress_;
     runtime::CancellationToken cancel_;
 };
+
+/// The default technique registry `cfg`'s ablation switches select -- XL,
+/// ElimLin, (Groebner), SAT, in the paper's loop order. This is what both
+/// Engine and Session construction install.
+std::vector<std::unique_ptr<Technique>> make_default_techniques(
+    const EngineConfig& cfg);
 
 }  // namespace bosphorus

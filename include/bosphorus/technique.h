@@ -48,16 +48,18 @@ class FactSink {
 public:
     /// Built by the Engine before every technique step. `cancel` folds the
     /// engine's cancellation token and the user's interrupt callback into
-    /// one stop signal (see cancel_token()).
+    /// one stop signal (see cancel_token()); `warm` is the Session's
+    /// warm-base hint (see warm_base_valid()).
     FactSink(core::AnfSystem& sys, Rng& rng, double time_remaining_s,
              size_t iteration, int verbosity,
-             runtime::CancellationToken cancel = {})
+             runtime::CancellationToken cancel = {}, bool warm = false)
         : sys_(sys),
           rng_(rng),
           time_remaining_s_(time_remaining_s),
           iteration_(iteration),
           verbosity_(verbosity),
-          cancel_(std::move(cancel)) {}
+          cancel_(std::move(cancel)),
+          warm_(warm) {}
 
     /// Add a learnt polynomial fact (an equation fact = 0). Returns true
     /// iff the fact was new, i.e. changed the system.
@@ -96,6 +98,17 @@ public:
     /// Shorthand for cancel_token().cancelled().
     bool cancelled() const { return cancel_.cancelled(); }
 
+    /// True iff the driving Session guarantees that the base system last
+    /// handed to Technique::bind_base, conjoined with the literals of the
+    /// variables currently fixed in system(), is logically equivalent to
+    /// the live system -- i.e. every constraint above the base entered as
+    /// an assumption, not a free-form equation. Techniques holding warm
+    /// per-base state (the incremental SAT step's live solver) may then
+    /// reuse it and pass the fixed-var literals as native assumptions;
+    /// when false they must fall back to their cold path. One-shot
+    /// Engine::run always reports false.
+    bool warm_base_valid() const { return warm_; }
+
 private:
     core::AnfSystem& sys_;
     Rng& rng_;
@@ -103,6 +116,7 @@ private:
     size_t iteration_;
     int verbosity_;
     runtime::CancellationToken cancel_;
+    bool warm_ = false;
     size_t seen_ = 0;
     size_t fresh_ = 0;
 };
@@ -130,8 +144,20 @@ struct StepReport {
 };
 
 /// One pluggable learning step. Implementations must be reusable across
-/// `Engine::run` calls: `begin_run` is invoked before each run so stateful
-/// techniques (e.g. the SAT step's conflict-budget schedule) can reset.
+/// `Engine::run` / `Session::solve` calls. The lifecycle contract:
+///
+///  - `begin_run()` before a *cold* run (every Engine::run; a Session's
+///    first solve) -- reset all cross-run state.
+///  - `reset_for_resolve()` before every *warm* re-solve of a persistent
+///    Session -- reset per-solve transients, but cross-solve state built
+///    for the bound base (a live SAT solver, cached matrices) may be
+///    kept. The default delegates to begin_run(), so stateless techniques
+///    need no change.
+///  - `bind_base(base, n)` whenever a Session (re)binds the technique to
+///    a persistent base system (at construction, and again after the
+///    scope-0 system gains new constraints). Techniques may precompute
+///    per-base state here; within a step they should only use it when
+///    `FactSink::warm_base_valid()` is true.
 class Technique {
 public:
     virtual ~Technique() = default;
@@ -142,8 +168,20 @@ public:
     /// Run one pass over the system, feeding learnt facts through `sink`.
     virtual StepReport step(core::AnfSystem& sys, FactSink& sink) = 0;
 
-    /// Called once at the start of every Engine::run.
+    /// Called once at the start of every cold run (see the class comment).
     virtual void begin_run() {}
+
+    /// Called before every warm re-solve of a persistent Session; default
+    /// behaves like a fresh run.
+    virtual void reset_for_resolve() { begin_run(); }
+
+    /// Bind to a persistent base system: `base` is the Session's scope-0
+    /// processed ANF over `num_vars` variables. Default: ignore.
+    virtual void bind_base(const std::vector<anf::Polynomial>& base,
+                           size_t num_vars) {
+        (void)base;
+        (void)num_vars;
+    }
 };
 
 // ---- built-in techniques (the paper's loop, as plugins) -------------------

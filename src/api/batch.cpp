@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "bosphorus/session.h"
 #include "runtime/result_queue.h"
 #include "runtime/thread_pool.h"
 #include "util/timer.h"
@@ -73,6 +74,71 @@ std::vector<Result<Report>> BatchEngine::solve_all(
                 } catch (...) {
                     // A throwing observer must not tear down the pool; the
                     // result is already in its slot either way.
+                }
+            }
+        });
+    }
+    pool.wait_idle();
+    return out;
+}
+
+std::vector<Result<Report>> BatchEngine::solve_all_incremental(
+    const Problem& base, const std::vector<AssumptionSet>& candidates,
+    unsigned n_threads, const BatchCallback& on_result) const {
+    std::vector<Result<Report>> out(
+        candidates.size(),
+        Status::interrupted("sweep cancelled before this candidate started"));
+    if (candidates.empty()) return out;
+
+    n_threads = threads_for(candidates.size(), n_threads);
+    const runtime::CancellationToken cancel = cancel_;
+    const EngineConfig cfg = cfg_;
+
+    // One contiguous block of candidates per worker: the partition is a
+    // pure function of (candidate count, worker count), so a worker's
+    // warm-start history -- and with it the whole result vector -- cannot
+    // depend on scheduling.
+    const size_t per_block =
+        (candidates.size() + n_threads - 1) / n_threads;
+
+    std::mutex callback_mutex;
+    runtime::ThreadPool pool(n_threads);
+    for (unsigned b = 0; b < n_threads; ++b) {
+        const size_t begin = static_cast<size_t>(b) * per_block;
+        const size_t end = std::min(candidates.size(), begin + per_block);
+        if (begin >= end) break;
+        pool.submit([&candidates, &out, &on_result, &callback_mutex, &cancel,
+                     &cfg, &base, begin, end] {
+            // The worker's private Session: the base is materialised and
+            // simplified once for the whole block.
+            std::unique_ptr<Session> session;
+            for (size_t i = begin; i < end; ++i) {
+                if (cancel.cancelled()) break;  // slots keep kInterrupted
+                try {
+                    if (!session) {
+                        session = std::make_unique<Session>(base, cfg);
+                        session->set_cancellation_token(cancel);
+                    }
+                    session->push();
+                    Status bad;
+                    for (const auto& [var, value] : candidates[i]) {
+                        bad = session->assume(var, value);
+                        if (!bad.ok()) break;
+                    }
+                    out[i] = bad.ok() ? session->solve() : Result<Report>(bad);
+                    session->pop();
+                } catch (const std::exception& ex) {
+                    out[i] = Status::internal(
+                        std::string("incremental solve threw: ") + ex.what());
+                    session.reset();  // rebuild rather than trust its state
+                }
+                if (on_result) {
+                    std::lock_guard<std::mutex> lk(callback_mutex);
+                    try {
+                        on_result(i, out[i]);
+                    } catch (...) {
+                        // Observer failures must not tear down the sweep.
+                    }
                 }
             }
         });

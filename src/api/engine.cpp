@@ -1,12 +1,9 @@
 #include "bosphorus/engine.h"
 
-#include <algorithm>
 #include <utility>
 
+#include "bosphorus/session.h"
 #include "core/anf_system.h"
-#include "core/cnf_to_anf.h"
-#include "util/log.h"
-#include "util/timer.h"
 
 namespace bosphorus {
 
@@ -42,22 +39,27 @@ size_t Report::total_facts() const {
 
 // ---- Engine ----------------------------------------------------------------
 
-Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
-    if (cfg_.use_xl) add_technique(make_xl_technique(cfg_.xl));
-    if (cfg_.use_elimlin) add_technique(make_elimlin_technique(cfg_.elimlin));
-    if (cfg_.use_groebner)
-        add_technique(make_groebner_technique(cfg_.groebner));
-    if (cfg_.use_sat) {
+std::vector<std::unique_ptr<Technique>> make_default_techniques(
+    const EngineConfig& cfg) {
+    std::vector<std::unique_ptr<Technique>> out;
+    if (cfg.use_xl) out.push_back(make_xl_technique(cfg.xl));
+    if (cfg.use_elimlin) out.push_back(make_elimlin_technique(cfg.elimlin));
+    if (cfg.use_groebner) out.push_back(make_groebner_technique(cfg.groebner));
+    if (cfg.use_sat) {
         SatTechniqueConfig sat_cfg;
-        sat_cfg.conv = cfg_.conv;
-        sat_cfg.native_xor = cfg_.sat_native_xor;
-        sat_cfg.conflicts_start = cfg_.sat_conflicts_start;
-        sat_cfg.conflicts_max = cfg_.sat_conflicts_max;
-        sat_cfg.conflicts_step = cfg_.sat_conflicts_step;
-        sat_cfg.harvest_binary_clauses = cfg_.harvest_binary_clauses;
-        add_technique(make_sat_technique(sat_cfg));
+        sat_cfg.conv = cfg.conv;
+        sat_cfg.native_xor = cfg.sat_native_xor;
+        sat_cfg.conflicts_start = cfg.sat_conflicts_start;
+        sat_cfg.conflicts_max = cfg.sat_conflicts_max;
+        sat_cfg.conflicts_step = cfg.sat_conflicts_step;
+        sat_cfg.harvest_binary_clauses = cfg.harvest_binary_clauses;
+        out.push_back(make_sat_technique(sat_cfg));
     }
+    return out;
 }
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg), techniques_(make_default_techniques(cfg_)) {}
 
 Engine& Engine::add_technique(std::unique_ptr<Technique> technique) {
     techniques_.push_back(std::move(technique));
@@ -92,120 +94,24 @@ Engine& Engine::set_cancellation_token(runtime::CancellationToken token) {
 }
 
 Result<Report> Engine::run(const Problem& problem) {
-    Timer timer;
-    Log log{cfg_.verbosity};
-    Rng rng(cfg_.seed);
-    Report rep;
-
-    // Materialise the master ANF (CNF input converts per section III-D).
-    std::vector<Polynomial> polys;
-    size_t num_vars = 0;
-    if (problem.kind() == Problem::Kind::kCnf) {
-        core::Cnf2AnfResult conv =
-            core::cnf_to_anf(problem.cnf(), cfg_.clause_cut);
-        polys = std::move(conv.polys);
-        num_vars = conv.num_vars;
-        rep.num_original_vars = problem.cnf().num_vars;
-    } else {
-        polys = problem.polynomials();
-        num_vars = problem.num_vars();
-        rep.num_original_vars = num_vars;
+    // A one-shot run is a throwaway Session solved exactly once. The
+    // Session borrows this Engine's registry and hooks (so custom
+    // techniques and callbacks behave as always) and never takes the
+    // warm path -- OneShotTag keeps the result bit-identical to the
+    // pre-Session loop.
+    Session session(problem, cfg_, Session::OneShotTag{});
+    session.techniques_ = std::move(techniques_);
+    session.interrupt_ = interrupt_;
+    session.progress_ = progress_;
+    session.cancel_ = cancel_;
+    try {
+        Result<Report> out = session.solve();
+        techniques_ = std::move(session.techniques_);
+        return out;
+    } catch (...) {
+        techniques_ = std::move(session.techniques_);
+        throw;
     }
-    rep.num_vars = num_vars;
-
-    core::AnfSystem sys(std::move(polys), num_vars);
-
-    rep.techniques.reserve(techniques_.size());
-    for (const auto& t : techniques_) {
-        t->begin_run();
-        rep.techniques.push_back({t->name(), 0, 0});
-    }
-
-    auto out_of_time = [&]() {
-        if (timer.seconds() > cfg_.time_budget_s) {
-            rep.timed_out = true;
-            return true;
-        }
-        return false;
-    };
-
-    // One stop signal for the whole run: the external cancellation token
-    // (batch shutdown, portfolio loser) folded with the user's interrupt
-    // callback. Handed into every FactSink so the core loops poll it at
-    // iteration boundaries -- cancellation lands mid-step, not only
-    // between steps.
-    const runtime::CancellationToken stop =
-        runtime::CancellationToken::linked(cancel_, interrupt_);
-
-    bool halted = false;  // a technique decided, or an interrupt arrived
-    for (rep.iterations = 0;
-         sys.okay() && rep.iterations < cfg_.max_iterations && !out_of_time();
-         ++rep.iterations) {
-        bool changed = false;
-
-        for (size_t ti = 0; ti < techniques_.size(); ++ti) {
-            if (!sys.okay() || out_of_time()) break;
-            if (stop.cancelled()) {
-                rep.interrupted = true;
-                halted = true;
-                break;
-            }
-
-            Technique& tech = *techniques_[ti];
-            FactSink sink(sys, rng, cfg_.time_budget_s - timer.seconds(),
-                          rep.iterations, cfg_.verbosity, stop);
-            StepReport sr = tech.step(sys, sink);
-            if (!sr.status.ok()) return sr.status;
-
-            const size_t fresh = sink.fresh() + sr.facts_fresh;
-            rep.techniques[ti].steps += 1;
-            rep.techniques[ti].facts += fresh;
-            changed |= fresh > 0;
-
-            if (progress_) {
-                Progress p;
-                p.iteration = rep.iterations;
-                p.technique = rep.techniques[ti].name;
-                p.facts_seen = sink.seen() + sr.facts_seen;
-                p.facts_fresh = fresh;
-                p.total_facts = rep.total_facts();
-                p.elapsed_s = timer.seconds();
-                progress_(p);
-            }
-
-            if (sr.decided) {
-                if (*sr.decided == sat::Result::kSat) {
-                    rep.verdict = sat::Result::kSat;
-                    rep.solution = std::move(sr.solution);
-                }
-                halted = true;
-                break;
-            }
-        }
-
-        if (halted || !changed) break;  // decision/interrupt or fixed point
-    }
-
-    // A cancellation that landed inside the final step (core loops bailed
-    // early, loop then exited on "no change") is still an interruption.
-    if (!halted && rep.verdict == sat::Result::kUnknown && stop.cancelled())
-        rep.interrupted = true;
-
-    if (!sys.okay()) rep.verdict = sat::Result::kUnsat;
-
-    rep.processed_anf = sys.to_polynomials();
-    core::Anf2CnfConfig out_cfg = cfg_.conv;
-    out_cfg.native_xor = false;  // the emitted CNF is plain DIMACS-compatible
-    rep.processed_cnf = core::anf_to_cnf(rep.processed_anf, num_vars, out_cfg);
-    rep.vars_fixed = sys.num_fixed();
-    rep.vars_replaced = sys.num_replaced();
-    rep.seconds = timer.seconds();
-    log.info(1,
-             "engine: %zu iterations, %zu facts, fixed=%zu replaced=%zu, "
-             "%.2fs",
-             rep.iterations, rep.total_facts(), rep.vars_fixed,
-             rep.vars_replaced, rep.seconds);
-    return rep;
 }
 
 }  // namespace bosphorus

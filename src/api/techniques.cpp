@@ -128,7 +128,71 @@ public:
 
     void begin_run() override { conflict_budget_ = cfg_.conflicts_start; }
 
+    /// Warm re-solve: restart the conflict-budget schedule but keep the
+    /// live solver (and everything it has learnt about the base system).
+    void reset_for_resolve() override {
+        conflict_budget_ = cfg_.conflicts_start;
+    }
+
+    /// Build the persistent solver for a Session's base system. It is
+    /// loaded once and reused across every warm solve; scoped state
+    /// reaches it as native assumption literals in step_live().
+    void bind_base(const std::vector<Polynomial>& base,
+                   size_t num_vars) override {
+        core::Anf2CnfConfig conv_cfg = cfg_.conv;
+        conv_cfg.native_xor = cfg_.native_xor;
+        const core::Anf2CnfResult conv =
+            core::anf_to_cnf(base, num_vars, conv_cfg);
+        sat::Solver::Config scfg;
+        scfg.enable_xor = cfg_.native_xor;
+        live_ = std::make_unique<sat::Solver>(scfg);
+        live_num_anf_vars_ = conv.num_anf_vars;
+        live_->load(conv.cnf);  // a false return leaves okay() false: UNSAT
+    }
+
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        if (live_ && sink.warm_base_valid()) return step_live(sys, sink);
+        return step_cold(sys, sink);
+    }
+
+private:
+    /// Deposit the solver's accumulated linear facts -- learnt units,
+    /// equivalences paired up from learnt binaries, and (optionally) the
+    /// binaries themselves as quadratic facts -- restricted to the first
+    /// `n_anf_vars` variables. Shared by the cold and live paths so they
+    /// cannot diverge. Returns false once the sink reports contradiction.
+    bool harvest(const sat::Solver& solver, size_t n_anf_vars,
+                 FactSink& sink) {
+        for (const sat::Lit u : solver.learnt_units()) {
+            if (u.var() >= n_anf_vars) continue;
+            // u true: var = !sign  ->  polynomial x (+ 1).
+            Polynomial f = Polynomial::variable(u.var());
+            if (!u.sign()) f += Polynomial::constant(true);
+            sink.add(f);
+            if (!sink.okay()) return false;
+        }
+        deposit(sink, equivalences_from_binaries(solver.learnt_binaries(),
+                                                 n_anf_vars));
+        if (!sink.okay()) return false;
+        if (cfg_.harvest_binary_clauses) {
+            for (const auto& b : solver.learnt_binaries()) {
+                if (b[0].var() >= n_anf_vars || b[1].var() >= n_anf_vars)
+                    continue;
+                // (l0 | l1) = 0 in ANF: product of negated literals.
+                Polynomial f0 = Polynomial::variable(b[0].var());
+                if (!b[0].sign()) f0 += Polynomial::constant(true);
+                Polynomial f1 = Polynomial::variable(b[1].var());
+                if (!b[1].sign()) f1 += Polynomial::constant(true);
+                sink.add(f0 * f1);
+                if (!sink.okay()) return false;
+            }
+        }
+        return sink.okay();
+    }
+
+    /// The classic one-shot path: convert the current (scope-simplified)
+    /// system to CNF and run a fresh bounded solver over it.
+    StepReport step_cold(core::AnfSystem& sys, FactSink& sink) {
         StepReport report;
         // The CDCL run below is already bounded by conflicts + wall clock;
         // polling here keeps a cancelled engine from paying for the CNF
@@ -173,31 +237,7 @@ public:
 
         // Undecided within the conflict budget: extract linear equations
         // from the learnt unit and binary clauses.
-        for (const sat::Lit u : solver.learnt_units()) {
-            if (u.var() >= conv.num_anf_vars) continue;
-            // u true: var = !sign  ->  polynomial x (+ 1).
-            Polynomial f = Polynomial::variable(u.var());
-            if (!u.sign()) f += Polynomial::constant(true);
-            sink.add(f);
-            if (!sink.okay()) return report;
-        }
-        deposit(sink, equivalences_from_binaries(solver.learnt_binaries(),
-                                                 conv.num_anf_vars));
-        if (!sink.okay()) return report;
-        if (cfg_.harvest_binary_clauses) {
-            for (const auto& b : solver.learnt_binaries()) {
-                if (b[0].var() >= conv.num_anf_vars ||
-                    b[1].var() >= conv.num_anf_vars)
-                    continue;
-                // (l0 | l1) = 0 in ANF: product of negated literals.
-                Polynomial f0 = Polynomial::variable(b[0].var());
-                if (!b[0].sign()) f0 += Polynomial::constant(true);
-                Polynomial f1 = Polynomial::variable(b[1].var());
-                if (!b[1].sign()) f1 += Polynomial::constant(true);
-                sink.add(f0 * f1);
-                if (!sink.okay()) return report;
-            }
-        }
+        if (!harvest(solver, conv.num_anf_vars, sink)) return report;
         if (sink.fresh() == 0) {
             // No new facts: raise the conflict budget (section IV).
             conflict_budget_ = std::min(cfg_.conflicts_max,
@@ -209,9 +249,81 @@ public:
         return report;
     }
 
-private:
+    /// The incremental path: no CNF conversion, no solver construction.
+    /// The live solver holds the base system (plus everything it has
+    /// learnt); the current scope reaches it purely as assumption
+    /// literals -- one per variable the AnfSystem has fixed. Sound
+    /// because every scoped constraint is itself such a literal
+    /// (FactSink::warm_base_valid guards this), so base CNF + assumptions
+    /// is logically equivalent to the live system.
+    StepReport step_live(core::AnfSystem& sys, FactSink& sink) {
+        StepReport report;
+        if (sink.cancelled()) return report;
+
+        sat::Solver& solver = *live_;
+        if (!solver.okay()) {
+            sink.add(Polynomial::constant(true));  // base itself is UNSAT
+            return report;
+        }
+
+        std::vector<sat::Lit> assumptions;
+        const size_t num_vars = sys.num_vars();
+        for (Var v = 0; v < num_vars && v < live_num_anf_vars_; ++v) {
+            const core::VarState st = sys.resolve(v);
+            if (st.kind == core::VarState::Kind::kFixed)
+                assumptions.push_back(sat::mk_lit(v, !st.value));
+        }
+
+        const double remaining = std::max(0.1, sink.time_remaining_s());
+        const sat::Result r =
+            solver.solve_assuming(assumptions, conflict_budget_, remaining);
+
+        if (r == sat::Result::kUnsat || !solver.okay()) {
+            // UNSAT under the scope's assumptions (or outright): the
+            // current system has derived 1 = 0. pop() un-derives it.
+            sink.add(Polynomial::constant(true));
+            return report;
+        }
+        if (r == sat::Result::kSat) {
+            std::vector<bool> assignment(num_vars, false);
+            for (Var v = 0; v < num_vars && v < solver.model().size(); ++v)
+                assignment[v] = solver.model()[v] == sat::LBool::kTrue;
+            if (sys.check_solution(assignment)) {
+                report.decided = sat::Result::kSat;
+                report.solution = std::move(assignment);
+            } else {
+                report.decided = sat::Result::kUnknown;
+            }
+            return report;
+        }
+
+        // Undecided: harvest linear facts. Learnt units live on the
+        // solver's level-0 trail and learnt binaries are implied by the
+        // clause database alone -- both are consequences of the *base*
+        // system, never of the assumptions, so depositing them at any
+        // scope (and re-depositing after a pop; the sink deduplicates)
+        // is sound.
+        if (!harvest(solver, live_num_anf_vars_, sink)) return report;
+        Log{sink.verbosity()}.info(
+            2, "iter %zu SAT(live): %zu assumptions, budget %lld, %zu new",
+            sink.iteration(), assumptions.size(),
+            static_cast<long long>(conflict_budget_), sink.fresh());
+        if (sink.fresh() == 0) {
+            // The warm solver got stuck on the base encoding. Fall back to
+            // one cold step: solving the *scope-simplified* CNF is
+            // structurally easier, so the warm path is never less decisive
+            // than the one-shot path. The fallback owns the budget
+            // escalation (section IV schedule, once per step); typical
+            // sweep candidates are decided above and never pay this.
+            return step_cold(sys, sink);
+        }
+        return report;
+    }
+
     SatTechniqueConfig cfg_;
     int64_t conflict_budget_;
+    std::unique_ptr<sat::Solver> live_;  ///< persistent Session solver
+    size_t live_num_anf_vars_ = 0;
 };
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include <vector>
@@ -52,6 +54,14 @@ void usage() {
         "                  first decisive finisher cancels the rest\n"
         "  --threads N     worker threads (default: hardware concurrency)\n"
         "\n"
+        "incremental solving:\n"
+        "  --assume FILE   solve under the assumptions in FILE (signed\n"
+        "                  1-based DIMACS-style literals: '5' fixes x5=1,\n"
+        "                  '-5' fixes x5=0; '0' terminators optional)\n"
+        "  --sweep FILE    one assumption set per line; sweeps all of them\n"
+        "                  over ONE shared simplified base system through\n"
+        "                  warm-started incremental Sessions\n"
+        "\n"
         "parameters (paper section IV defaults):\n"
         "  -M N            XL/ElimLin sample budget exponent (30)\n"
         "  -D N            XL expansion degree (1)\n"
@@ -64,7 +74,8 @@ void usage() {
         "  --no-xl / --no-el / --no-sat   disable a learning step\n"
         "  --gb            enable the Groebner (Buchberger/F4) step\n"
         "  --seed N        RNG seed (1)\n"
-        "  -v N            verbosity (0)\n");
+        "  -v N            verbosity (0)\n"
+        "  --version       print the library version and exit\n");
 }
 
 int fail(const Status& status) {
@@ -119,10 +130,16 @@ int run_batch(const std::vector<std::string>& files, const EngineConfig& opt,
 int run_portfolio(const Problem& problem, const EngineConfig& opt,
                   unsigned n_threads, size_t problem_vars,
                   const OutputOptions& out_opt);
+int run_assume(const Problem& problem, const EngineConfig& opt,
+               const std::string& assume_file, size_t problem_vars,
+               const OutputOptions& out_opt);
+int run_sweep(const Problem& problem, const EngineConfig& opt,
+              const std::string& sweep_file, unsigned n_threads);
 
 int run(int argc, char** argv) {
     std::string anf_in, cnf_in, cnf_out, anf_out;
     std::string solver_name = sat::kDefaultSolverName;
+    std::string assume_file, sweep_file;
     bool solve_after = false;
     bool batch_mode = false;
     bool portfolio_mode = false;
@@ -140,6 +157,12 @@ int run(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--anf") anf_in = next();
+        else if (a == "--version") {
+            std::printf("bosphorus %s (DATE'19 reproduction)\n", version());
+            return 0;
+        }
+        else if (a == "--assume") assume_file = next();
+        else if (a == "--sweep") sweep_file = next();
         else if (a == "--batch") batch_mode = true;
         else if (a == "--portfolio") portfolio_mode = true;
         else if (a == "--threads") n_threads = std::stoul(next());
@@ -182,10 +205,10 @@ int run(int argc, char** argv) {
         // Refuse flag combinations batch mode would otherwise silently
         // drop (per-instance outputs / back-end solving / portfolio).
         if (solve_after || portfolio_mode || !cnf_out.empty() ||
-            !anf_out.empty()) {
+            !anf_out.empty() || !assume_file.empty() || !sweep_file.empty()) {
             std::fprintf(stderr,
                          "--batch does not support --solve, --portfolio, "
-                         "--cnf or --anfout\n");
+                         "--cnf, --anfout, --assume or --sweep\n");
             return 2;
         }
         return run_batch(batch_files, opt, n_threads);
@@ -209,6 +232,24 @@ int run(int argc, char** argv) {
     out_opt.anf_out = anf_out;
     out_opt.solve_after = solve_after;
     out_opt.solver_kind = *solver_kind;
+
+    if (!sweep_file.empty()) {
+        if (portfolio_mode || solve_after || !cnf_out.empty() ||
+            !anf_out.empty() || !assume_file.empty()) {
+            std::fprintf(stderr,
+                         "--sweep does not support --solve, --portfolio, "
+                         "--cnf, --anfout or --assume\n");
+            return 2;
+        }
+        return run_sweep(*problem, opt, sweep_file, n_threads);
+    }
+    if (!assume_file.empty()) {
+        if (portfolio_mode) {
+            std::fprintf(stderr, "--assume does not support --portfolio\n");
+            return 2;
+        }
+        return run_assume(*problem, opt, assume_file, problem_vars, out_opt);
+    }
 
     if (portfolio_mode)
         return run_portfolio(*problem, opt, n_threads, problem_vars, out_opt);
@@ -318,6 +359,128 @@ int run_batch(const std::vector<std::string>& files, const EngineConfig& opt,
     }
     std::printf(
         "c batch: %zu instances, %u threads, sat=%zu unsat=%zu unknown=%zu "
+        "error=%zu, %.2fs wall\n",
+        results.size(), BatchEngine::threads_for(results.size(), n_threads),
+        n_sat, n_unsat, n_unknown, n_error, timer.seconds());
+    return n_error == 0 ? 0 : 2;
+}
+
+/// Parse one whitespace-separated run of signed 1-based DIMACS-style
+/// literals ("5" = x5 := 1, "-5" = x5 := 0; "0" terminators and blank
+/// tokens ignored) into (var, value) assumptions.
+Result<AssumptionSet> parse_assumptions(const std::string& text,
+                                        const std::string& where) {
+    AssumptionSet set;
+    std::istringstream in(text);
+    long long lit = 0;
+    while (in >> lit) {
+        if (lit == 0) continue;
+        const long long v = lit > 0 ? lit : -lit;
+        if (v - 1 > static_cast<long long>(
+                        std::numeric_limits<anf::Var>::max())) {
+            return Status::parse_error(where + ": literal " +
+                                       std::to_string(lit) +
+                                       " exceeds the variable index range");
+        }
+        set.emplace_back(static_cast<anf::Var>(v - 1), lit > 0);
+    }
+    if (!in.eof())
+        return Status::parse_error(where + ": expected signed integer "
+                                           "literals (e.g. '5 -7 0')");
+    return set;
+}
+
+/// `--assume FILE`: the whole file is one assumption set, applied to the
+/// problem through a Session before a single solve; downstream output
+/// handling (--cnf/--anfout/--solve, verdict, exit code) matches a plain
+/// run exactly.
+int run_assume(const Problem& problem, const EngineConfig& opt,
+               const std::string& assume_file, size_t problem_vars,
+               const OutputOptions& out_opt) {
+    std::ifstream in(assume_file);
+    if (!in) return fail(Status::io_error("cannot read " + assume_file));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Result<AssumptionSet> set =
+        parse_assumptions(buffer.str(), assume_file);
+    if (!set.ok()) return fail(set.status());
+
+    Session session(problem, opt);
+    for (const auto& [var, value] : *set) {
+        const Status s = session.assume(var, value);
+        if (!s.ok()) return fail(s);
+    }
+    const Result<Report> run = session.solve();
+    if (!run.ok()) return fail(run.status());
+
+    std::fprintf(stderr,
+                 "c session: %zu assumptions, %zu iterations, %.2fs; "
+                 "vars fixed=%zu replaced=%zu\n",
+                 set->size(), run->iterations, run->seconds, run->vars_fixed,
+                 run->vars_replaced);
+    return finish_run(*run, out_opt, problem_vars);
+}
+
+/// `--sweep FILE`: every non-comment line is one assumption set; all of
+/// them run through BatchEngine::solve_all_incremental over one shared
+/// base system. Per-candidate verdict lines go to stdout; a
+/// machine-greppable summary closes the run.
+int run_sweep(const Problem& problem, const EngineConfig& opt,
+              const std::string& sweep_file, unsigned n_threads) {
+    std::ifstream in(sweep_file);
+    if (!in) return fail(Status::io_error("cannot read " + sweep_file));
+
+    std::vector<AssumptionSet> candidates;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        if (line[first] == '#' || line[first] == 'c') continue;
+        Result<AssumptionSet> set = parse_assumptions(
+            line, sweep_file + " line " + std::to_string(line_no));
+        if (!set.ok()) return fail(set.status());
+        candidates.push_back(std::move(*set));
+    }
+    if (candidates.empty()) {
+        std::fprintf(stderr, "--sweep: no assumption sets in %s\n",
+                     sweep_file.c_str());
+        return 2;
+    }
+
+    EngineConfig sweep_opt = opt;
+    sweep_opt.emit_processed = false;  // sweeps only consume verdicts
+
+    const Timer timer;
+    BatchEngine batch(sweep_opt);
+    const std::vector<Result<Report>> results =
+        batch.solve_all_incremental(problem, candidates, n_threads);
+
+    size_t n_sat = 0, n_unsat = 0, n_unknown = 0, n_error = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (!r.ok()) {
+            ++n_error;
+            std::printf("a %zu ERROR %s\n", i, r.status().to_string().c_str());
+            continue;
+        }
+        if (r->verdict == sat::Result::kSat) ++n_sat;
+        else if (r->verdict == sat::Result::kUnsat) ++n_unsat;
+        else ++n_unknown;
+        std::printf("a %zu %s iters=%zu facts=%zu %.3fs", i,
+                    verdict_name(r->verdict), r->iterations, r->total_facts(),
+                    r->seconds);
+        if (r->verdict == sat::Result::kSat) {
+            std::printf(" model");
+            for (size_t v = 0; v < problem.num_vars() &&
+                               v < r->solution.size(); ++v)
+                std::printf(" %s%zu", r->solution[v] ? "" : "-", v + 1);
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "c sweep: %zu candidates, %u threads, sat=%zu unsat=%zu unknown=%zu "
         "error=%zu, %.2fs wall\n",
         results.size(), BatchEngine::threads_for(results.size(), n_threads),
         n_sat, n_unsat, n_unknown, n_error, timer.seconds());

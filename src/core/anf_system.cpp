@@ -81,6 +81,78 @@ bool AnfSystem::add_fact(const Polynomial& p) {
     return true;
 }
 
+bool AnfSystem::add_original(const Polynomial& p) {
+    originals_.push_back(p);
+    return add_fact(p);
+}
+
+void AnfSystem::mark_removed(size_t i) {
+    removed_[i] = true;
+    if (trail_on_) trail_removed_.push_back(static_cast<uint32_t>(i));
+}
+
+void AnfSystem::mark_unstored(size_t i) {
+    dedup_.erase(polys_[i]);
+    if (trail_on_) trail_unstored_.push_back(static_cast<uint32_t>(i));
+}
+
+void AnfSystem::clear_trail() {
+    trail_on_ = false;
+    trail_states_.clear();
+    trail_removed_.clear();
+    trail_unstored_.clear();
+}
+
+AnfSystem::Snapshot AnfSystem::snapshot() {
+    trail_on_ = true;
+    Snapshot s;
+    s.n_polys = polys_.size();
+    s.n_originals = originals_.size();
+    s.n_trail_states = trail_states_.size();
+    s.n_trail_removed = trail_removed_.size();
+    s.n_trail_unstored = trail_unstored_.size();
+    s.ok = ok_;
+    return s;
+}
+
+void AnfSystem::restore(const Snapshot& snap) {
+    // Undo the dedup inserts of slots created after the snapshot, then
+    // replay the dedup erases that hit surviving slots. Slot contents are
+    // immutable, so polys_[i] still holds exactly what was erased.
+    for (size_t i = snap.n_polys; i < polys_.size(); ++i)
+        dedup_.erase(polys_[i]);
+    for (size_t t = snap.n_trail_unstored; t < trail_unstored_.size(); ++t) {
+        const uint32_t idx = trail_unstored_[t];
+        if (idx < snap.n_polys) dedup_.insert(polys_[idx]);
+    }
+    // Un-remove surviving slots retired after the snapshot.
+    for (size_t t = snap.n_trail_removed; t < trail_removed_.size(); ++t) {
+        const uint32_t idx = trail_removed_[t];
+        if (idx < snap.n_polys) removed_[idx] = false;
+    }
+    // Free every variable fixed or replaced after the snapshot (a var's
+    // state is written at most once, always leaving kFree).
+    for (size_t t = snap.n_trail_states; t < trail_states_.size(); ++t)
+        states_[trail_states_[t]] = VarState{};
+    // Drop the truncated slots from the occurrence lists (their indices
+    // were appended in increasing order, so they sit at the tails).
+    for (size_t i = snap.n_polys; i < polys_.size(); ++i) {
+        for (Var v : polys_[i].variables()) {
+            auto& occ = occ_[v];
+            while (!occ.empty() && occ.back() >= snap.n_polys) occ.pop_back();
+        }
+    }
+    polys_.resize(snap.n_polys);
+    removed_.resize(snap.n_polys);
+    queued_.assign(snap.n_polys, false);
+    queue_.clear();
+    originals_.resize(snap.n_originals);
+    trail_states_.resize(snap.n_trail_states);
+    trail_removed_.resize(snap.n_trail_removed);
+    trail_unstored_.resize(snap.n_trail_unstored);
+    ok_ = snap.ok;
+}
+
 void AnfSystem::touch(Var v) {
     for (uint32_t idx : occ_[v]) {
         if (!removed_[idx] && !queued_[idx]) {
@@ -98,6 +170,7 @@ bool AnfSystem::assign(Var v, bool value) {
     }
     const Var root = (st.kind == VarState::Kind::kFree) ? v : st.root;
     const bool root_value = value ^ st.flip;
+    if (trail_on_) trail_states_.push_back(root);
     states_[root].kind = VarState::Kind::kFixed;
     states_[root].value = root_value;
     touch(root);
@@ -127,6 +200,7 @@ bool AnfSystem::equate(Var a, Var b, bool flip) {
     // Replace the variable with the shorter occurrence list.
     const Var loser = (occ_[ra].size() <= occ_[rb].size()) ? ra : rb;
     const Var keeper = (loser == ra) ? rb : ra;
+    if (trail_on_) trail_states_.push_back(loser);
     states_[loser].kind = VarState::Kind::kReplaced;
     states_[loser].root = keeper;
     states_[loser].flip = rel;
@@ -137,15 +211,15 @@ bool AnfSystem::equate(Var a, Var b, bool flip) {
 void AnfSystem::renormalise(size_t i) {
     const Polynomial n = normalise(polys_[i]);
     if (n == polys_[i]) return;
-    dedup_.erase(polys_[i]);
-    removed_[i] = true;  // retire the old slot; store() creates a fresh one
+    mark_unstored(i);
+    mark_removed(i);  // retire the old slot; store() creates a fresh one
     if (!n.is_zero()) store(n);
 }
 
 bool AnfSystem::analyse(size_t i) {
     const Polynomial& p = polys_[i];
     if (p.is_zero()) {
-        removed_[i] = true;
+        mark_removed(i);
         return true;
     }
     if (p.is_one()) {
@@ -157,17 +231,17 @@ bool AnfSystem::analyse(size_t i) {
 
     if (nm == 1 && p.degree() == 1) {
         // p = x: x := 0.
-        removed_[i] = true;
+        mark_removed(i);
         return assign(p.monomials()[0].vars()[0], false);
     }
     if (nm == 2 && has_one && p.degree() == 1) {
         // p = x + 1: x := 1.
-        removed_[i] = true;
+        mark_removed(i);
         return assign(p.monomials()[1].vars()[0], true);
     }
     if (nm == 2 && has_one && p.degree() >= 2) {
         // p = x1...xk + 1: every variable := 1 (monomial fact).
-        removed_[i] = true;
+        mark_removed(i);
         for (Var v : p.monomials()[1].vars()) {
             if (!assign(v, true)) return false;
         }
@@ -175,13 +249,13 @@ bool AnfSystem::analyse(size_t i) {
     }
     if (nm == 2 && !has_one && p.degree() == 1) {
         // p = x + y: x == y.
-        removed_[i] = true;
+        mark_removed(i);
         return equate(p.monomials()[0].vars()[0], p.monomials()[1].vars()[0],
                       false);
     }
     if (nm == 3 && has_one && p.degree() == 1) {
         // p = x + y + 1: x == !y.
-        removed_[i] = true;
+        mark_removed(i);
         return equate(p.monomials()[1].vars()[0], p.monomials()[2].vars()[0],
                       true);
     }
@@ -197,8 +271,8 @@ bool AnfSystem::propagate() {
         // Normalise first (states may have changed since queueing)...
         const Polynomial n = normalise(polys_[i]);
         if (n != polys_[i]) {
-            dedup_.erase(polys_[i]);
-            removed_[i] = true;
+            mark_unstored(i);
+            mark_removed(i);
             if (!n.is_zero()) store(n);
             continue;  // the fresh copy is queued
         }

@@ -55,6 +55,42 @@ public:
     /// Returns true if the fact was new (changed the system).
     bool add_fact(const Polynomial& p);
 
+    /// Add a *constraint* (not a derived fact): like add_fact, but the
+    /// polynomial also joins the originals checked by check_solution. This
+    /// is what Session::add / Session::assume feed, so models found at a
+    /// scope are verified against the scope's assumptions too.
+    bool add_original(const Polynomial& p);
+
+    // ---- snapshot / restore (the Session push/pop substrate) -------------
+    /// An opaque marker of the system's state at one instant. Only valid
+    /// for restore() on the AnfSystem that produced it, and only in LIFO
+    /// order (restoring an older snapshot invalidates newer ones).
+    struct Snapshot {
+        size_t n_polys = 0;
+        size_t n_originals = 0;
+        size_t n_trail_states = 0;
+        size_t n_trail_removed = 0;
+        size_t n_trail_unstored = 0;
+        bool ok = true;
+    };
+
+    /// Capture the current state. The first call enables trail recording
+    /// (a small per-mutation cost); propagation must be at fixed point
+    /// (it always is outside propagate()).
+    Snapshot snapshot();
+
+    /// Rewind the system to exactly the state captured by `snap`:
+    /// equations, variable states, occurrence lists, dedup set, originals
+    /// and okay() all return to their values at snapshot() time.
+    void restore(const Snapshot& snap);
+
+    /// Stop trail recording and drop the accumulated trails. Only valid
+    /// once every outstanding snapshot has been restored or abandoned
+    /// (Session calls this when its last scope pops, so depth-0 work
+    /// between scopes doesn't grow the trails forever). The next
+    /// snapshot() re-enables recording.
+    void clear_trail();
+
     /// Run ANF propagation until fixed point. Returns okay().
     bool propagate();
 
@@ -114,6 +150,19 @@ private:
     bool ok_ = true;
 
     std::vector<Polynomial> originals_;  // for check_solution
+
+    // Mutation trail for restore(), recorded once the first snapshot is
+    // taken: variables whose state left kFree, polynomial slots whose
+    // removed_ flag flipped, and slots erased from dedup_ (renormalised
+    // away). Slots themselves are immutable once stored, so truncating
+    // polys_ plus replaying these three logs is an exact rewind.
+    bool trail_on_ = false;
+    std::vector<Var> trail_states_;
+    std::vector<uint32_t> trail_removed_;
+    std::vector<uint32_t> trail_unstored_;
+
+    void mark_removed(size_t i);
+    void mark_unstored(size_t i);
 };
 
 }  // namespace bosphorus::core

@@ -501,7 +501,12 @@ double Solver::luby(double y, int i) const {
 
 void Solver::record_learnt_fact(const std::vector<Lit>& clause) {
     if (clause.size() == 2) {
-        learnt_binaries_.push_back({clause[0], clause[1]});
+        const Lit lo = std::min(clause[0], clause[1]);
+        const Lit hi = std::max(clause[0], clause[1]);
+        const uint64_t key =
+            (static_cast<uint64_t>(lo.raw()) << 32) | hi.raw();
+        if (binaries_seen_.insert(key).second)
+            learnt_binaries_.push_back({clause[0], clause[1]});
     }
     // Unit learnt clauses reach the trail at level 0 and are exported via
     // the units_reported_ cursor in solve().
@@ -510,6 +515,12 @@ void Solver::record_learnt_fact(const std::vector<Lit>& clause) {
 // ------------------------------------------------------------------ solve
 
 Result Solver::solve(int64_t conflict_budget, double timeout_s) {
+    return solve_assuming({}, conflict_budget, timeout_s);
+}
+
+Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
+                              int64_t conflict_budget, double timeout_s) {
+    cancel_until(0);  // make repeated solve calls on one instance safe
     if (!ok_) return Result::kUnsat;
     Timer timer;
 
@@ -594,7 +605,33 @@ Result Solver::solve(int64_t conflict_budget, double timeout_s) {
                 reduce_db();
                 max_learnts_ *= cfg_.learnt_growth;
             }
-            const Lit next = pick_branch_lit();
+            // Re-enqueue any assumption not yet decided (restarts and
+            // backjumps may have unwound them) before real branching.
+            Lit next = lit_undef();
+            bool failed_assumption = false;
+            while (decision_level() <
+                   static_cast<int>(assumptions.size())) {
+                const Lit p = assumptions[decision_level()];
+                assert(p.var() < num_vars());
+                if (value(p) == LBool::kTrue) {
+                    // Already implied: open a dummy level so the remaining
+                    // assumptions keep their positions.
+                    trail_lim_.push_back(static_cast<int>(trail_.size()));
+                } else if (value(p) == LBool::kFalse) {
+                    // The clause database refutes this assumption: UNSAT
+                    // under assumptions, but the formula itself stays ok.
+                    failed_assumption = true;
+                    break;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (failed_assumption) {
+                result = Result::kUnsat;
+                break;
+            }
+            if (next == lit_undef()) next = pick_branch_lit();
             if (next == lit_undef()) {
                 // All variables assigned: a model.
                 model_.assign(assigns_.begin(), assigns_.end());

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "sat/types.h"
@@ -75,6 +76,18 @@ public:
     /// timeout in seconds (< 0: none). kUnknown when a budget ran out.
     Result solve(int64_t conflict_budget = -1, double timeout_s = -1.0);
 
+    /// Incremental solve under `assumptions`: each literal is enqueued as a
+    /// pseudo-decision before real branching starts, so the search explores
+    /// only assignments extending them. Returns kUnsat when the formula is
+    /// unsatisfiable *under the assumptions*; okay() stays true in that case
+    /// unless the formula is unsatisfiable outright. The solver remains
+    /// reusable afterwards: clauses learnt in one call (always implied by
+    /// the clause database alone, never by the assumptions) carry over to
+    /// the next, which is what makes warm re-solves cheap.
+    Result solve_assuming(const std::vector<Lit>& assumptions,
+                          int64_t conflict_budget = -1,
+                          double timeout_s = -1.0);
+
     bool okay() const { return ok_; }
 
     /// After kSat: the satisfying assignment, indexed by variable.
@@ -82,7 +95,10 @@ public:
 
     /// Learnt facts for Bosphorus: unit literals learnt (or implied at
     /// decision level 0) and learnt binary clauses, accumulated across all
-    /// solve() calls.
+    /// solve() calls. Units are bounded by the variable count (they live
+    /// on the level-0 trail); binaries are deduplicated, so both lists
+    /// stay bounded by the *distinct* facts even over the thousands of
+    /// solve_assuming calls a long-lived Session makes.
     const std::vector<Lit>& learnt_units() const { return learnt_units_; }
     const std::vector<std::array<Lit, 2>>& learnt_binaries() const {
         return learnt_binaries_;
@@ -180,6 +196,8 @@ private:
     std::vector<Lit> learnt_units_;
     size_t units_reported_ = 0;  // trail prefix already exported as units
     std::vector<std::array<Lit, 2>> learnt_binaries_;
+    // Dedup for learnt_binaries_ (normalised lit pair -> already recorded).
+    std::unordered_set<uint64_t> binaries_seen_;
 
     double max_learnts_ = 0;
 

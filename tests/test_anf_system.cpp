@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "anf/anf_parser.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -176,6 +179,164 @@ TEST_P(AnfSystemRandom, PropagationPreservesSolutions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AnfSystemRandom, ::testing::Range(0, 40));
+
+// ---- snapshot / restore (the Session push/pop substrate) -------------------
+
+/// Everything observable about a system's state, for exact-rewind checks.
+struct Fingerprint {
+    std::vector<Polynomial> equations;
+    std::vector<Polynomial> processed;
+    size_t num_fixed;
+    size_t num_replaced;
+    bool ok;
+
+    bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const AnfSystem& sys) {
+    Fingerprint f;
+    f.equations = sys.equations();
+    std::sort(f.equations.begin(), f.equations.end());
+    f.processed = sys.to_polynomials();
+    std::sort(f.processed.begin(), f.processed.end());
+    f.num_fixed = sys.num_fixed();
+    f.num_replaced = sys.num_replaced();
+    f.ok = sys.okay();
+    return f;
+}
+
+TEST(AnfSystemSnapshot, RestoreRewindsExactly) {
+    AnfSystem sys =
+        make("x1*x2 + x3 + x4 + 1\nx1*x2*x3 + x1 + x3 + 1\n"
+             "x1*x3 + x3*x4*x5 + x3\nx2*x3 + x3*x5 + 1\nx2*x3 + x5 + 1\n",
+             5);
+    const Fingerprint base = fingerprint(sys);
+
+    const auto snap = sys.snapshot();
+    // Mutate heavily: fix a variable (triggers renormalisation and
+    // follow-on propagation) and add a fresh equation.
+    EXPECT_TRUE(sys.add_fact(parse_polynomial("x1 + 1")));
+    sys.add_fact(parse_polynomial("x4 + x5"));
+    EXPECT_NE(fingerprint(sys), base);
+
+    sys.restore(snap);
+    EXPECT_EQ(fingerprint(sys), base);
+
+    // The dedup set must have rewound too: the same facts are "new" again
+    // and lead to the same state.
+    const auto again = sys.snapshot();
+    EXPECT_TRUE(sys.add_fact(parse_polynomial("x1 + 1")));
+    sys.restore(again);
+    EXPECT_EQ(fingerprint(sys), base);
+}
+
+TEST(AnfSystemSnapshot, NestedSnapshotsRestoreInLifoOrder) {
+    AnfSystem sys = make("x1 + x2 + x3\nx2*x3 + x4\n", 4);
+    const Fingerprint f0 = fingerprint(sys);
+    const auto s0 = sys.snapshot();
+
+    sys.add_fact(parse_polynomial("x1"));
+    const Fingerprint f1 = fingerprint(sys);
+    const auto s1 = sys.snapshot();
+
+    sys.add_fact(parse_polynomial("x2 + 1"));
+    EXPECT_NE(fingerprint(sys), f1);
+
+    sys.restore(s1);
+    EXPECT_EQ(fingerprint(sys), f1);
+    sys.restore(s0);
+    EXPECT_EQ(fingerprint(sys), f0);
+}
+
+TEST(AnfSystemSnapshot, RestoreRecoversFromContradiction) {
+    AnfSystem sys = make("x1 + x2\n", 2);
+    const Fingerprint base = fingerprint(sys);
+    const auto snap = sys.snapshot();
+
+    sys.add_fact(parse_polynomial("x1"));      // x1 = 0 (so x2 = 0)
+    sys.add_fact(parse_polynomial("x2 + 1"));  // x2 = 1: contradiction
+    EXPECT_FALSE(sys.okay());
+
+    sys.restore(snap);
+    EXPECT_TRUE(sys.okay());
+    EXPECT_EQ(fingerprint(sys), base);
+    // The system is live again: new facts propagate normally.
+    EXPECT_TRUE(sys.add_fact(parse_polynomial("x1 + 1")));
+    EXPECT_TRUE(sys.resolve(1).value) << "x2 == x1 == 1";
+}
+
+TEST(AnfSystemSnapshot, AddOriginalIsScopedByRestore) {
+    AnfSystem sys = make("x1 + x2\n", 2);
+    const auto snap = sys.snapshot();
+    sys.add_original(parse_polynomial("x1 + 1"));
+    // x1 = x2 = 1 satisfies base + scope; all-zero violates the scope.
+    EXPECT_TRUE(sys.check_solution({true, true}));
+    EXPECT_FALSE(sys.check_solution({false, false}));
+    sys.restore(snap);
+    EXPECT_TRUE(sys.check_solution({false, false}))
+        << "scoped original must not survive restore";
+}
+
+/// Randomised exactness: interleave snapshots, fact additions and
+/// restores; every restore must reproduce the exact fingerprint taken at
+/// its snapshot.
+class AnfSystemSnapshotRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnfSystemSnapshotRandom, RandomisedRoundTrips) {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 71 + 5);
+    const unsigned nv = 5 + rng.below(5);
+    std::vector<Polynomial> polys;
+    const size_t np = 4 + rng.below(5);
+    for (size_t i = 0; i < np; ++i) {
+        std::vector<anf::Monomial> monos;
+        const size_t nm = 1 + rng.below(4);
+        for (size_t j = 0; j < nm; ++j) {
+            std::vector<anf::Var> vars;
+            const size_t d = rng.below(3);
+            for (size_t l = 0; l < d; ++l)
+                vars.push_back(static_cast<anf::Var>(rng.below(nv)));
+            monos.emplace_back(std::move(vars));
+        }
+        polys.emplace_back(std::move(monos));
+    }
+    AnfSystem sys(polys, nv);
+
+    std::vector<std::pair<AnfSystem::Snapshot, Fingerprint>> stack;
+    for (int round = 0; round < 40; ++round) {
+        const unsigned action = rng.below(3);
+        if (action == 0) {
+            stack.emplace_back(sys.snapshot(), fingerprint(sys));
+        } else if (action == 1 && !stack.empty()) {
+            sys.restore(stack.back().first);
+            EXPECT_EQ(fingerprint(sys), stack.back().second)
+                << "restore diverged in round " << round;
+            stack.pop_back();
+        } else {
+            // A random small fact: unit, equivalence, or quadratic.
+            const anf::Var a = static_cast<anf::Var>(rng.below(nv));
+            const anf::Var b = static_cast<anf::Var>(rng.below(nv));
+            Polynomial f = Polynomial::variable(a);
+            switch (rng.below(4)) {
+                case 0: break;                                   // a = 0
+                case 1: f += Polynomial::constant(true); break;  // a = 1
+                case 2: f += Polynomial::variable(b); break;     // a == b
+                default:
+                    f = f * Polynomial::variable(b);
+                    f += Polynomial::constant(true);  // a*b = 1
+                    break;
+            }
+            sys.add_fact(f);
+        }
+    }
+    while (!stack.empty()) {
+        sys.restore(stack.back().first);
+        EXPECT_EQ(fingerprint(sys), stack.back().second);
+        stack.pop_back();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnfSystemSnapshotRandom,
+                         ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace bosphorus::core

@@ -380,6 +380,71 @@ TEST(Dimacs, RoundTrip) {
         EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
 }
 
+// ---- incremental solving under assumptions --------------------------------
+
+TEST(SolverAssumptions, FailedAssumptionsDoNotPoisonTheInstance) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    EXPECT_TRUE(s.add_clause({pos(a), pos(b)}));
+    EXPECT_TRUE(s.add_clause({neg(a), pos(b)}));  // implies b under !a...
+
+    // UNSAT only *under* the assumptions:
+    EXPECT_EQ(s.solve_assuming({neg(a), neg(b)}), Result::kUnsat);
+    EXPECT_TRUE(s.okay()) << "assumption failure must not set UNSAT";
+
+    // The same instance keeps solving, warm:
+    EXPECT_EQ(s.solve_assuming({pos(a)}), Result::kSat);
+    EXPECT_EQ(s.model()[a], LBool::kTrue);
+    EXPECT_EQ(s.solve_assuming({neg(a)}), Result::kSat);
+    EXPECT_EQ(s.model()[b], LBool::kTrue) << "(!a | b) forces b under !a";
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SolverAssumptions, AssumptionSweepMatchesRefresh) {
+    // A random 3-SAT instance: sweeping assumptions over one warm solver
+    // must agree with a fresh solver per candidate.
+    Rng rng(99);
+    const Cnf cnf = cnfgen::random_ksat(12, 40, 3, rng);
+    Solver warm;
+    ASSERT_TRUE(warm.load(cnf));
+    for (unsigned mask = 0; mask < 8; ++mask) {
+        std::vector<Lit> assumptions;
+        for (Var v = 0; v < 3; ++v)
+            assumptions.push_back(mk_lit(v, !((mask >> v) & 1)));
+
+        Solver fresh;
+        ASSERT_TRUE(fresh.load(cnf));
+        for (const Lit l : assumptions) ASSERT_TRUE(fresh.add_clause({l}));
+
+        const Result expect = fresh.okay() ? fresh.solve() : Result::kUnsat;
+        EXPECT_EQ(warm.solve_assuming(assumptions), expect)
+            << "candidate " << mask;
+        EXPECT_TRUE(warm.okay());
+    }
+}
+
+TEST(SolverAssumptions, ContradictoryPairFailsImmediately) {
+    Solver s;
+    const Var a = s.new_var();
+    (void)s.new_var();
+    EXPECT_EQ(s.solve_assuming({pos(a), neg(a)}), Result::kUnsat);
+    EXPECT_TRUE(s.okay());
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SolverAssumptions, XorEngineHonoursAssumptions) {
+    Solver::Config cfg;
+    cfg.enable_xor = true;
+    Solver s(cfg);
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    EXPECT_TRUE(s.add_xor({{a, b, c}, true}));  // a ^ b ^ c = 1
+
+    ASSERT_EQ(s.solve_assuming({pos(a), pos(b)}), Result::kSat);
+    EXPECT_EQ(s.model()[c], LBool::kTrue) << "1 ^ 1 ^ c = 1 forces c = 1";
+    ASSERT_EQ(s.solve_assuming({pos(a), neg(b)}), Result::kSat);
+    EXPECT_EQ(s.model()[c], LBool::kFalse);
+}
+
 TEST(Dimacs, XorRoundTripPreservesSemantics) {
     Cnf cnf;
     cnf.num_vars = 4;
