@@ -9,8 +9,10 @@
 //
 // Output is machine-readable JSON, printed to stdout and written to
 // BENCH_batch.json (override the path with BENCH_JSON_OUT). Knobs:
-// BENCH_INSTANCES (20), BENCH_THREADS (8), BENCH_VARS (40), BENCH_EQS
-// (56), BENCH_SEED (1). Speedup scales with available cores; on a 1-core
+// BENCH_INSTANCES (20), BENCH_THREADS (0 = hardware concurrency),
+// BENCH_VARS (40), BENCH_EQS (56), BENCH_SEED (1). Requests beyond the
+// core count are clamped by BatchEngine::threads_for (recorded as
+// "threads_clamped"). Speedup scales with available cores; on a 1-core
 // container it is ~1 by construction.
 #include <cstdio>
 #include <cstdlib>
@@ -64,7 +66,7 @@ bool reports_identical(const Report& a, const Report& b) {
 
 int main() {
     const size_t instances = env_or("BENCH_INSTANCES", 20);
-    const size_t threads = env_or("BENCH_THREADS", 8);
+    const size_t threads_requested = env_or("BENCH_THREADS", 0);
     const size_t num_vars = env_or("BENCH_VARS", 40);
     const size_t num_eqs = env_or("BENCH_EQS", 56);
     const auto seed = static_cast<uint64_t>(env_or("BENCH_SEED", 1));
@@ -95,11 +97,20 @@ int main() {
     }
     const double seq_s = seq_timer.seconds();
 
-    // (b) The batch runtime on `threads` workers.
+    // (b) The batch runtime. threads_for owns the sizing policy: 0 means
+    // hardware concurrency, and requests beyond the core count are
+    // clamped rather than oversubscribing the box.
+    const unsigned threads_used = BatchEngine::threads_for(
+        instances, static_cast<unsigned>(threads_requested));
+    // threads_clamped records the HARDWARE clamp specifically (an explicit
+    // request beyond the core count), not the never-more-workers-than-
+    // instances cap, which is routine.
+    const bool threads_clamped =
+        threads_requested > runtime::ThreadPool::default_thread_count();
     Timer par_timer;
     BatchEngine batch(cfg);
     const std::vector<Result<Report>> parallel =
-        batch.solve_all(problems, static_cast<unsigned>(threads));
+        batch.solve_all(problems, static_cast<unsigned>(threads_requested));
     const double par_s = par_timer.seconds();
 
     bool deterministic = true;
@@ -126,7 +137,9 @@ int main() {
         "  \"instances\": %zu,\n"
         "  \"vars\": %zu,\n"
         "  \"equations\": %zu,\n"
-        "  \"threads\": %zu,\n"
+        "  \"threads_requested\": %zu,\n"
+        "  \"threads\": %u,\n"
+        "  \"threads_clamped\": %s,\n"
         "  \"hardware_concurrency\": %u,\n"
         "  \"seed\": %llu,\n"
         "  \"sequential_s\": %.4f,\n"
@@ -137,7 +150,8 @@ int main() {
         "  \"deterministic\": %s,\n"
         "  \"verdicts\": {\"sat\": %zu, \"unsat\": %zu, \"unknown\": %zu}\n"
         "}\n",
-        instances, num_vars, num_eqs, threads,
+        instances, num_vars, num_eqs, threads_requested, threads_used,
+        threads_clamped ? "true" : "false",
         runtime::ThreadPool::default_thread_count(),
         static_cast<unsigned long long>(seed), seq_s, par_s, speedup,
         seq_s > 0 ? instances / seq_s : 0.0,

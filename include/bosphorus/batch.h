@@ -170,7 +170,11 @@ public:
 
     /// The worker count solve_all actually uses for `n_instances` and a
     /// requested `n_threads` (0 = hardware concurrency): never more
-    /// workers than instances. Single source of the sizing policy.
+    /// workers than instances, and never more than
+    /// `std::thread::hardware_concurrency()` -- engine work is
+    /// compute-bound, so oversubscription only costs (requests beyond the
+    /// core count are clamped, not honoured). Single source of the sizing
+    /// policy, shared with solve_portfolio.
     static unsigned threads_for(size_t n_instances, unsigned n_threads);
 
     /// The per-instance configuration this batch runs with.

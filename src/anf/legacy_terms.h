@@ -1,0 +1,240 @@
+// Reference (pre-interning) term representation, kept verbatim for the
+// equivalence tests and the bench_hotpath --legacy-terms comparison arm.
+//
+// This is the representation the library shipped with before the
+// MonomialStore rewrite: every Monomial owns a heap-allocated sorted
+// std::vector<Var>, every Polynomial owns a vector of such Monomials, and
+// every product/merge copies and re-sorts whole variable lists. It is the
+// "before" in the before/after terms-per-second numbers of
+// BENCH_hotpath.json, and the oracle the interned representation must
+// match bit-for-bit (same canonical deg-lex order, same to_string, same
+// hash chain).
+//
+// Only benches and tests include this header (gated by the CMake option
+// BOSPHORUS_LEGACY_TERMS); the library proper never does. Do not "fix" or
+// optimise this code -- its value is being a faithful snapshot.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "anf/monomial_store.h"  // for the shared Var typedef
+
+namespace bosphorus::anf::legacy {
+
+class Monomial {
+public:
+    Monomial() = default;
+    explicit Monomial(Var v) : vars_{v} {}
+    explicit Monomial(std::vector<Var> vars) : vars_(std::move(vars)) {
+        std::sort(vars_.begin(), vars_.end());
+        vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+    }
+
+    size_t degree() const { return vars_.size(); }
+    bool is_one() const { return vars_.empty(); }
+    const std::vector<Var>& vars() const { return vars_; }
+
+    bool contains(Var v) const {
+        return std::binary_search(vars_.begin(), vars_.end(), v);
+    }
+
+    Monomial operator*(const Monomial& o) const {
+        Monomial r;
+        r.vars_.reserve(vars_.size() + o.vars_.size());
+        std::set_union(vars_.begin(), vars_.end(), o.vars_.begin(),
+                       o.vars_.end(), std::back_inserter(r.vars_));
+        return r;
+    }
+
+    bool divides(const Monomial& o) const {
+        return std::includes(o.vars_.begin(), o.vars_.end(), vars_.begin(),
+                             vars_.end());
+    }
+
+    Monomial without(Var v) const {
+        Monomial r = *this;
+        r.vars_.erase(std::find(r.vars_.begin(), r.vars_.end(), v));
+        return r;
+    }
+
+    bool evaluate(const std::vector<bool>& assignment) const {
+        for (Var v : vars_) {
+            if (!assignment[v]) return false;
+        }
+        return true;
+    }
+
+    bool operator==(const Monomial& o) const { return vars_ == o.vars_; }
+    bool operator!=(const Monomial& o) const { return vars_ != o.vars_; }
+
+    bool operator<(const Monomial& o) const {
+        if (vars_.size() != o.vars_.size())
+            return vars_.size() < o.vars_.size();
+        return vars_ < o.vars_;
+    }
+
+    size_t hash() const {
+        size_t h = 0x9E3779B97F4A7C15ULL;
+        for (Var v : vars_) h = (h ^ v) * 0x100000001B3ULL;
+        return h;
+    }
+
+private:
+    std::vector<Var> vars_;
+};
+
+struct MonomialHash {
+    size_t operator()(const Monomial& m) const { return m.hash(); }
+};
+
+class Polynomial {
+public:
+    Polynomial() = default;
+    explicit Polynomial(Monomial m) : monos_{std::move(m)} {}
+    explicit Polynomial(std::vector<Monomial> monomials)
+        : monos_(std::move(monomials)) {
+        canonicalise();
+    }
+
+    static Polynomial constant(bool one) {
+        return one ? Polynomial(Monomial{}) : Polynomial();
+    }
+    static Polynomial variable(Var v) { return Polynomial(Monomial{v}); }
+
+    bool is_zero() const { return monos_.empty(); }
+    bool is_one() const { return monos_.size() == 1 && monos_[0].is_one(); }
+    size_t degree() const { return monos_.empty() ? 0 : monos_.back().degree(); }
+    size_t size() const { return monos_.size(); }
+    const std::vector<Monomial>& monomials() const { return monos_; }
+    const Monomial& leading_monomial() const { return monos_.back(); }
+    bool has_constant_term() const {
+        return !monos_.empty() && monos_.front().is_one();
+    }
+
+    std::vector<Var> variables() const {
+        std::vector<Var> vars;
+        for (const auto& m : monos_)
+            vars.insert(vars.end(), m.vars().begin(), m.vars().end());
+        std::sort(vars.begin(), vars.end());
+        vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+        return vars;
+    }
+
+    bool contains_var(Var v) const {
+        for (const auto& m : monos_)
+            if (m.contains(v)) return true;
+        return false;
+    }
+
+    Polynomial operator+(const Polynomial& o) const {
+        Polynomial r;
+        r.monos_.reserve(monos_.size() + o.monos_.size());
+        size_t i = 0, j = 0;
+        while (i < monos_.size() && j < o.monos_.size()) {
+            if (monos_[i] == o.monos_[j]) {
+                ++i;
+                ++j;  // cancels
+            } else if (monos_[i] < o.monos_[j]) {
+                r.monos_.push_back(monos_[i++]);
+            } else {
+                r.monos_.push_back(o.monos_[j++]);
+            }
+        }
+        r.monos_.insert(r.monos_.end(), monos_.begin() + i, monos_.end());
+        r.monos_.insert(r.monos_.end(), o.monos_.begin() + j, o.monos_.end());
+        return r;
+    }
+    // The copy-per-call += this snapshot shipped with (the satellite fix
+    // in anf/polynomial.h replaced it with an in-place merge).
+    Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+
+    Polynomial operator*(const Monomial& m) const {
+        std::vector<Monomial> prod;
+        prod.reserve(monos_.size());
+        for (const auto& mm : monos_) prod.push_back(mm * m);
+        return Polynomial(std::move(prod));
+    }
+
+    Polynomial operator*(const Polynomial& o) const {
+        std::vector<Monomial> prod;
+        prod.reserve(monos_.size() * o.monos_.size());
+        for (const auto& a : monos_)
+            for (const auto& b : o.monos_) prod.push_back(a * b);
+        return Polynomial(std::move(prod));
+    }
+
+    bool operator==(const Polynomial& o) const { return monos_ == o.monos_; }
+    bool operator!=(const Polynomial& o) const { return monos_ != o.monos_; }
+    bool operator<(const Polynomial& o) const { return monos_ < o.monos_; }
+
+    bool evaluate(const std::vector<bool>& assignment) const {
+        bool acc = false;
+        for (const auto& m : monos_) acc ^= m.evaluate(assignment);
+        return acc;
+    }
+
+    Polynomial substitute(Var v, const Polynomial& by) const {
+        std::vector<Monomial> untouched_list, quotient_list;
+        for (const auto& m : monos_) {
+            if (m.contains(v)) {
+                quotient_list.push_back(m.without(v));
+            } else {
+                untouched_list.push_back(m);
+            }
+        }
+        Polynomial untouched(std::move(untouched_list));
+        Polynomial quotients(std::move(quotient_list));
+        return untouched + quotients * by;
+    }
+
+    size_t hash() const {
+        size_t h = 0xCBF29CE484222325ULL;
+        for (const auto& m : monos_) h = (h ^ m.hash()) * 0x100000001B3ULL;
+        return h;
+    }
+
+    std::string to_string() const {
+        if (monos_.empty()) return "0";
+        std::string s;
+        for (auto it = monos_.rbegin(); it != monos_.rend(); ++it) {
+            if (!s.empty()) s += " + ";
+            if (it->is_one()) {
+                s += "1";
+            } else {
+                bool first = true;
+                for (Var v : it->vars()) {
+                    if (!first) s += "*";
+                    s += "x" + std::to_string(v + 1);
+                    first = false;
+                }
+            }
+        }
+        return s;
+    }
+
+private:
+    void canonicalise() {
+        std::sort(monos_.begin(), monos_.end());
+        std::vector<Monomial> out;
+        out.reserve(monos_.size());
+        for (size_t i = 0; i < monos_.size();) {
+            size_t j = i;
+            while (j < monos_.size() && monos_[j] == monos_[i]) ++j;
+            if ((j - i) % 2 == 1) out.push_back(monos_[i]);
+            i = j;
+        }
+        monos_ = std::move(out);
+    }
+
+    std::vector<Monomial> monos_;
+};
+
+struct PolynomialHash {
+    size_t operator()(const Polynomial& p) const { return p.hash(); }
+};
+
+}  // namespace bosphorus::anf::legacy

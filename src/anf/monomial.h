@@ -1,19 +1,29 @@
 // Monomials over GF(2): products of distinct Boolean variables.
 //
 // Because x^2 = x in the Boolean ring GF(2)[x_1..x_n]/(x_i^2 + x_i), a
-// monomial is fully described by the *set* of variables it contains. We store
-// that set as a sorted vector of variable indices; the empty set is the
-// constant monomial 1.
+// monomial is fully described by the *set* of variables it contains; the
+// empty set is the constant monomial 1.
+//
+// Representation: a Monomial is a 4-byte handle (MonoId) into the
+// process-wide hash-consed MonomialStore (anf/monomial_store.h). Each
+// distinct variable set is stored exactly once, so equality is an integer
+// compare, hash() is a cached lookup, degree() is a cached byte, and
+// products are memoised -- a vector<Monomial> is literally a vector of
+// dense 32-bit ids, which is what makes the Polynomial algebra and the
+// XL/ElimLin/Groebner linearisation loops allocation-free per term.
+//
+// Id values depend on interning history and never leak into observable
+// output: ordering (operator<) and hashing are content-based, identical to
+// the pre-interning representation (see anf/legacy_terms.h).
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
-namespace bosphorus::anf {
+#include "anf/monomial_store.h"
 
-using Var = uint32_t;
+namespace bosphorus::anf {
 
 class Monomial {
 public:
@@ -21,73 +31,80 @@ public:
     Monomial() = default;
 
     /// Single-variable monomial.
-    explicit Monomial(Var v) : vars_{v} {}
+    explicit Monomial(Var v)
+        : id_(MonomialStore::global().intern_var(v)) {}
 
     /// Monomial from a variable set; sorts and deduplicates (x^2 = x).
-    explicit Monomial(std::vector<Var> vars) : vars_(std::move(vars)) {
-        std::sort(vars_.begin(), vars_.end());
-        vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+    explicit Monomial(std::vector<Var> vars)
+        : id_(MonomialStore::global().intern(std::move(vars))) {}
+
+    /// Wrap an id previously obtained from the global store.
+    static Monomial from_id(MonoId id) {
+        Monomial m;
+        m.id_ = id;
+        return m;
     }
 
-    size_t degree() const { return vars_.size(); }
-    bool is_one() const { return vars_.empty(); }
-    const std::vector<Var>& vars() const { return vars_; }
+    MonoId id() const { return id_; }
 
-    bool contains(Var v) const {
-        return std::binary_search(vars_.begin(), vars_.end(), v);
-    }
+    size_t degree() const { return store().degree(id_); }
+    bool is_one() const { return id_ == kMonoOne; }
 
-    /// Product of two monomials = union of their variable sets.
+    /// The sorted variable list (a view into the store arena; valid for
+    /// the lifetime of the process).
+    VarSpan vars() const { return store().vars(id_); }
+
+    bool contains(Var v) const { return store().contains(id_, v); }
+
+    /// Product of two monomials = union of their variable sets (memoised).
     Monomial operator*(const Monomial& o) const {
-        Monomial r;
-        r.vars_.reserve(vars_.size() + o.vars_.size());
-        std::set_union(vars_.begin(), vars_.end(), o.vars_.begin(),
-                       o.vars_.end(), std::back_inserter(r.vars_));
-        return r;
+        return from_id(store().mul(id_, o.id_));
     }
 
     /// True iff this monomial divides `o` (variable subset).
     bool divides(const Monomial& o) const {
-        return std::includes(o.vars_.begin(), o.vars_.end(), vars_.begin(),
-                             vars_.end());
+        return store().divides(id_, o.id_);
     }
 
     /// The quotient monomial with variable v removed; v must be present.
     Monomial without(Var v) const {
-        Monomial r = *this;
-        r.vars_.erase(std::find(r.vars_.begin(), r.vars_.end(), v));
-        return r;
+        return from_id(store().without(id_, v));
     }
 
     /// Evaluate under a full assignment (indexed by variable).
     bool evaluate(const std::vector<bool>& assignment) const {
-        for (Var v : vars_) {
+        for (Var v : vars()) {
             if (!assignment[v]) return false;
         }
         return true;
     }
 
-    bool operator==(const Monomial& o) const { return vars_ == o.vars_; }
-    bool operator!=(const Monomial& o) const { return vars_ != o.vars_; }
+    /// Hash-consed: same variable set <=> same id.
+    bool operator==(const Monomial& o) const { return id_ == o.id_; }
+    bool operator!=(const Monomial& o) const { return id_ != o.id_; }
 
-    /// Degree-lexicographic order: lower degree first, then lexicographic on
-    /// the variable lists. This is the canonical term order everywhere in the
-    /// library (XL expands "in ascending degree order" under this order).
+    /// Degree-lexicographic order: lower degree first, then lexicographic
+    /// on the variable lists. This is the canonical term order everywhere
+    /// in the library (XL expands "in ascending degree order" under this
+    /// order). Content-based, so independent of interning history.
     bool operator<(const Monomial& o) const {
-        if (vars_.size() != o.vars_.size())
-            return vars_.size() < o.vars_.size();
-        return vars_ < o.vars_;
+        return store().less(id_, o.id_);
     }
 
-    size_t hash() const {
-        size_t h = 0x9E3779B97F4A7C15ULL;
-        for (Var v : vars_) h = (h ^ v) * 0x100000001B3ULL;
-        return h;
-    }
+    /// Content hash, cached in the store; bit-identical to the
+    /// pre-interning hash chain.
+    size_t hash() const { return store().hash(id_); }
 
 private:
-    std::vector<Var> vars_;
+    static MonomialStore& store() { return MonomialStore::global(); }
+
+    MonoId id_ = kMonoOne;
 };
+
+// A vector<Monomial> must really be a packed vector of 32-bit ids -- the
+// layout the linearisation and CNF paths rely on.
+static_assert(sizeof(Monomial) == sizeof(MonoId));
+static_assert(std::is_trivially_copyable_v<Monomial>);
 
 struct MonomialHash {
     size_t operator()(const Monomial& m) const { return m.hash(); }

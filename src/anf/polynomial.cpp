@@ -64,6 +64,41 @@ Polynomial Polynomial::operator+(const Polynomial& o) const {
     return r;
 }
 
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+    if (o.monos_.empty()) return *this;
+    if (monos_.empty()) {
+        monos_ = o.monos_;
+        return *this;
+    }
+    // Shift the current terms to the tail of the grown buffer, then merge
+    // them with o's terms back into the front, cancelling equal pairs.
+    // The write cursor can never overrun the tail-read cursor: a write
+    // from o implies o is not exhausted, which bounds the cursor strictly
+    // below the next tail slot (Monomial is a trivially copyable id, so
+    // the moves are raw 4-byte copies).
+    const size_t n = monos_.size();
+    const size_t m = o.monos_.size();
+    monos_.resize(n + m);
+    std::move_backward(monos_.begin(), monos_.begin() + n, monos_.end());
+    size_t i = m;      // tail-read cursor over the shifted original terms
+    size_t j = 0;      // read cursor over o
+    size_t w = 0;      // write cursor
+    while (i < n + m && j < m) {
+        if (monos_[i] == o.monos_[j]) {
+            ++i;
+            ++j;  // cancels
+        } else if (monos_[i] < o.monos_[j]) {
+            monos_[w++] = monos_[i++];
+        } else {
+            monos_[w++] = o.monos_[j++];
+        }
+    }
+    while (i < n + m) monos_[w++] = monos_[i++];
+    while (j < m) monos_[w++] = o.monos_[j++];
+    monos_.resize(w);
+    return *this;
+}
+
 Polynomial Polynomial::operator*(const Monomial& m) const {
     std::vector<Monomial> prod;
     prod.reserve(monos_.size());

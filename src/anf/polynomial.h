@@ -5,6 +5,11 @@
 // monomial appearing twice cancels). Following the paper's convention, a
 // Polynomial denotes the polynomial *equation* p = 0 when it sits in an
 // ANF system.
+//
+// Since Monomial is a 4-byte interned id (anf/monomial.h), the monomial
+// list is a packed sorted vector of MonoIds: copies are memcpys, equality
+// is an id-vector compare, and operator+= merges in place without
+// allocating per term.
 #pragma once
 
 #include <string>
@@ -63,7 +68,11 @@ public:
 
     /// GF(2) addition = symmetric difference of monomial sets.
     Polynomial operator+(const Polynomial& o) const;
-    Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+
+    /// In-place sorted merge with pair cancellation: one resize, no
+    /// temporary polynomial (the old `*this = *this + o` copied the whole
+    /// term list per call -- measurable in the ElimLin substitution loop).
+    Polynomial& operator+=(const Polynomial& o);
 
     Polynomial operator*(const Monomial& m) const;
     Polynomial operator*(const Polynomial& o) const;

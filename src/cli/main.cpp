@@ -52,7 +52,8 @@ void usage() {
         "                  (*.cnf loads as CNF, anything else as ANF)\n"
         "  --portfolio     race 4 technique configs on one instance;\n"
         "                  first decisive finisher cancels the rest\n"
-        "  --threads N     worker threads (default: hardware concurrency)\n"
+        "  --threads N     worker threads (default: hardware concurrency;\n"
+        "                  requests beyond the core count are clamped)\n"
         "\n"
         "incremental solving:\n"
         "  --assume FILE   solve under the assumptions in FILE (signed\n"

@@ -17,6 +17,15 @@
 //
 // Invariant: every live polynomial is *normalised* -- it mentions only
 // variables that are neither fixed nor replaced by an equivalence literal.
+//
+// Term storage: polynomials are vectors of interned MonoIds resolved
+// against the process-wide MonomialStore (anf/monomial_store.h). The store
+// is append-only and shared by every AnfSystem, so the snapshot/restore
+// trail below never records store state: restore() rewinds equations,
+// variable states and occurrence lists exactly, while monomials interned
+// inside the popped scope simply persist as cached vocabulary (ids stay
+// valid, content-based ordering/hashing keeps behaviour independent of
+// that leftover history).
 #pragma once
 
 #include <cstddef>

@@ -138,7 +138,10 @@ private:
     }
 
     /// Auxiliary variable defined as the conjunction of the monomial's
-    /// variables (three or more clauses a` la Tseitin encoding).
+    /// variables (three or more clauses a` la Tseitin encoding). The
+    /// mono->aux map is keyed by the interned Monomial (O(1) cached hash,
+    /// id equality); aux numbering depends only on conversion order, never
+    /// on id values, so emitted CNF is independent of store history.
     sat::Var monomial_var(const Monomial& m) {
         auto it = res_.var_of_mono.find(m);
         if (it != res_.var_of_mono.end()) return it->second;

@@ -23,6 +23,9 @@ std::vector<Polynomial> run_elimlin(const std::vector<Polynomial>& system,
     for (size_t idx : chosen) work.push_back(system[idx]);
 
     std::vector<Polynomial> facts;
+    // Dedup on the interned representation: PolynomialHash folds the
+    // per-term hashes cached in the MonomialStore, so an insert costs one
+    // multiply-xor per 4-byte id instead of re-hashing variable vectors.
     std::unordered_set<Polynomial, anf::PolynomialHash> fact_set;
     size_t iterations = 0;
     size_t eliminated = 0;

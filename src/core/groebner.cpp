@@ -3,26 +3,28 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "anf/monomial_store.h"
 #include "core/linearize.h"
 
 namespace bosphorus::core {
 
 using anf::Monomial;
+using anf::MonomialStore;
 using anf::Polynomial;
 using anf::Var;
 
 namespace {
 
 /// lcm of two monomials in the Boolean ring = union of variable sets.
+/// Goes through the store's memoised product, so the repeated pairings of
+/// the same leading monomials across rounds are table lookups.
 Monomial lcm(const Monomial& a, const Monomial& b) { return a * b; }
 
-/// Cofactor u with u * m == target (target's vars minus m's vars).
+/// Cofactor u with u * m == target (target's vars minus m's vars),
+/// computed id-to-id in the store.
 Monomial cofactor(const Monomial& target, const Monomial& m) {
-    std::vector<Var> vars;
-    std::set_difference(target.vars().begin(), target.vars().end(),
-                        m.vars().begin(), m.vars().end(),
-                        std::back_inserter(vars));
-    return Monomial(std::move(vars));
+    return Monomial::from_id(
+        MonomialStore::global().quotient(target.id(), m.id()));
 }
 
 }  // namespace
@@ -69,8 +71,8 @@ std::vector<Polynomial> run_groebner(const std::vector<Polynomial>& system,
                 // ring the field equations can still interact, but the
                 // pair is overwhelmingly likely useless -- skip).
                 if (l.degree() == lmi.degree() + lmj.degree()) continue;
-                Polynomial s = basis[i] * cofactor(l, lmi) +
-                               basis[j] * cofactor(l, lmj);
+                Polynomial s = basis[i] * cofactor(l, lmi);
+                s += basis[j] * cofactor(l, lmj);
                 if (s.is_zero()) continue;
                 batch.push_back(std::move(s));
                 ++pairs;

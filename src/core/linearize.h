@@ -9,9 +9,18 @@
 // term last), so elimination removes high-degree monomials first and the
 // fully-reduced rows end with low-degree tails -- this is what makes the
 // retained rows of Table I come out as linear and monomial facts.
+//
+// The monomial -> column map is keyed by the interned 4-byte MonoId (the
+// old map hashed whole variable vectors per term), and the column sort
+// runs on the store's precomputed deg-lex ranks when the column set is a
+// large fraction of the interned vocabulary. All structures are sized by
+// the system's own term count, never by the global store -- a long-lived
+// Session can intern millions of monomials without inflating later
+// linearisations.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -22,11 +31,18 @@ namespace bosphorus::core {
 
 struct Linearization {
     std::vector<anf::Monomial> col_monomial;  // column -> monomial
-    std::unordered_map<anf::Monomial, size_t, anf::MonomialHash> col_of;
+    /// MonoId -> column index, for the monomials that occur in the system.
+    std::unordered_map<anf::MonoId, uint32_t> col_index;
     gf2::Matrix matrix;
 
     size_t rows() const { return matrix.rows(); }
     size_t cols() const { return matrix.cols(); }
+
+    /// Column of a monomial; throws std::out_of_range if it does not
+    /// occur in the linearised system.
+    size_t col_of(const anf::Monomial& m) const {
+        return col_index.at(m.id());
+    }
 };
 
 /// Build the linearised matrix of a polynomial system.

@@ -98,8 +98,10 @@ TEST(BatchEngine, TwentyInstanceBatchMatchesSequentialBitForBit) {
         sequential.push_back(std::move(*r));
     }
 
-    // 8 workers: more threads than cores on most CI boxes, deliberately --
-    // oversubscription must not change a single bit of the results.
+    // Request 8 workers: more threads than cores on most CI boxes,
+    // deliberately -- threads_for clamps the request to the hardware, and
+    // neither the clamp nor the resulting worker count may change a single
+    // bit of the results.
     BatchEngine batch(cfg);
     const auto parallel = batch.solve_all(problems, 8);
     ASSERT_EQ(parallel.size(), problems.size());
