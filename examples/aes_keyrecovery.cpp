@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     const Problem problem = Problem::from_anf(inst.polys, inst.num_vars);
     for (const bool with_bosphorus : {false, true}) {
         SolveConfig cfg;
-        cfg.solver = sat::SolverKind::kCmsLike;
+        cfg.solver = "cms";  // any registered backend spec works here
         cfg.preprocess = with_bosphorus;
         cfg.engine.xl.m_budget = 20;
         cfg.engine.elimlin.m_budget = 20;

@@ -12,7 +12,7 @@
 
 #include "bosphorus/bosphorus.h"
 #include "crypto/sha256.h"
-#include "sat/solve_cnf.h"
+#include "bosphorus/sat_backend.h"
 
 int main(int argc, char** argv) {
     using namespace bosphorus;
@@ -52,16 +52,18 @@ int main(int argc, char** argv) {
         std::printf("UNSAT -- no nonce exists for this prefix\n");
         return 1;
     } else {
-        const auto so =
-            sat::solve_cnf(res.processed_cnf.cnf, sat::SolverKind::kCmsLike,
-                           /*timeout_s=*/300.0);
-        if (so.result != sat::Result::kSat) {
+        // Back-end solvers are registry specs now: swap "cms" for
+        // "minisat", "lingeling" or "dimacs-exec:<cmd>" to race other
+        // back ends on the processed CNF.
+        const auto so = sat::solve_cnf_with(res.processed_cnf.cnf, "cms",
+                                            /*timeout_s=*/300.0);
+        if (!so.ok() || so->result != sat::Result::kSat) {
             std::printf("solver did not finish\n");
             return 1;
         }
         solution.resize(inst.num_vars);
         for (size_t v = 0; v < inst.num_vars; ++v)
-            solution[v] = so.model[v] == sat::LBool::kTrue;
+            solution[v] = so->model[v] == sat::LBool::kTrue;
         std::printf("solved by the back-end solver after preprocessing\n");
     }
 

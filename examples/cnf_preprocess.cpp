@@ -13,7 +13,7 @@
 #include "bosphorus/bosphorus.h"
 #include "cnfgen/generators.h"
 #include "sat/dimacs.h"
-#include "sat/solve_cnf.h"
+#include "bosphorus/sat_backend.h"
 
 int main() {
     using namespace bosphorus;
@@ -74,15 +74,20 @@ int main() {
                     res.processed_cnf.cnf.clauses.size(),
                     dimacs.str().size());
 
-        const auto so = sat::solve_cnf(res.processed_cnf.cnf,
-                                       sat::SolverKind::kLingelingLike, 60.0);
+        const auto so = sat::solve_cnf_with(res.processed_cnf.cnf,
+                                            "lingeling", 60.0);
+        if (!so.ok()) {
+            std::printf("  backend error: %s\n",
+                        so.status().to_string().c_str());
+            return 1;
+        }
         std::printf("  lingeling-like verdict on processed CNF: %s "
                     "(%.3fs, %llu conflicts)\n",
-                    so.result == sat::Result::kSat     ? "SAT"
-                    : so.result == sat::Result::kUnsat ? "UNSAT"
-                                                       : "UNKNOWN",
-                    so.seconds,
-                    static_cast<unsigned long long>(so.stats.conflicts));
+                    so->result == sat::Result::kSat     ? "SAT"
+                    : so->result == sat::Result::kUnsat ? "UNSAT"
+                                                        : "UNKNOWN",
+                    so->seconds,
+                    static_cast<unsigned long long>(so->stats.conflicts));
     }
     return 0;
 }

@@ -41,6 +41,7 @@
 
 #include "bosphorus/engine.h"
 #include "bosphorus/problem.h"
+#include "bosphorus/sat_backend.h"
 #include "bosphorus/status.h"
 #include "runtime/cancellation.h"
 
@@ -99,6 +100,24 @@ struct PortfolioReport {
 ///   "groebner"      -- the base config with the Groebner step enabled.
 /// Entries get distinct derived seeds so their subsampling decorrelates.
 std::vector<PortfolioEntry> default_portfolio(const EngineConfig& base);
+
+/// A *heterogeneous* portfolio: one entry per SAT back end, all running
+/// the same loop configuration with only EngineConfig::sat_backend
+/// swapped -- racing solvers, not engine knobs. Feed the result to
+/// solve_portfolio as usual; the first decisive finisher cancels the
+/// losers *inside* their running SAT step (the cancellation token
+/// reaches the back end through SolverBackend's terminate/interrupt
+/// hook, so even a long external-process solve stops promptly). Entry
+/// names are the spec strings; seeds stay identical so entries differ in
+/// nothing but the back end. An empty spec ("") names the built-in
+/// native in-loop solver and is allowed as an entry.
+std::vector<PortfolioEntry> backend_portfolio(
+    const EngineConfig& base, const std::vector<sat::SolverSpec>& backends);
+
+/// backend_portfolio over the three built-in back ends ("minisat",
+/// "lingeling", "cms") -- the paper's Table II axis as a race.
+std::vector<PortfolioEntry> default_backend_portfolio(
+    const EngineConfig& base);
 
 /// Race `entries` on `problem` with `n_threads` workers (0 = hardware
 /// concurrency, capped at the entry count). The first decisive finisher

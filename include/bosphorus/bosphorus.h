@@ -22,18 +22,19 @@
 /// implementation detail that the facade re-exports where needed.
 #pragma once
 
-#include "bosphorus/batch.h"     // IWYU pragma: export
-#include "bosphorus/engine.h"    // IWYU pragma: export
-#include "bosphorus/problem.h"   // IWYU pragma: export
-#include "bosphorus/session.h"   // IWYU pragma: export
-#include "bosphorus/solve.h"     // IWYU pragma: export
-#include "bosphorus/status.h"    // IWYU pragma: export
-#include "bosphorus/technique.h" // IWYU pragma: export
+#include "bosphorus/batch.h"       // IWYU pragma: export
+#include "bosphorus/engine.h"      // IWYU pragma: export
+#include "bosphorus/problem.h"     // IWYU pragma: export
+#include "bosphorus/sat_backend.h" // IWYU pragma: export
+#include "bosphorus/session.h"     // IWYU pragma: export
+#include "bosphorus/solve.h"       // IWYU pragma: export
+#include "bosphorus/status.h"      // IWYU pragma: export
+#include "bosphorus/technique.h"   // IWYU pragma: export
 
 /// Library major version; bumped on breaking public-API changes.
 #define BOSPHORUS_VERSION_MAJOR 0
 /// Library minor version; bumped per feature release (one per PR train).
-#define BOSPHORUS_VERSION_MINOR 3
+#define BOSPHORUS_VERSION_MINOR 4
 
 namespace bosphorus {
 

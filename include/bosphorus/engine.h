@@ -69,6 +69,15 @@ struct EngineConfig {
     bool use_sat = true;      ///< ... and the conflict-bounded SAT step
     bool sat_native_xor = true;  ///< in-loop solver uses native XOR + GJE
 
+    /// In-loop SAT back end (see bosphorus/sat_backend.h): empty keeps
+    /// the built-in native solver configured by `sat_native_xor`; any
+    /// registered backend spec ("minisat", "lingeling", "cms",
+    /// "dimacs-exec:<cmd>", or a user-registered name) routes the
+    /// conflict-bounded SAT step -- including a Session's persistent warm
+    /// solver -- through that backend. This is the axis heterogeneous
+    /// portfolios race over (see backend_portfolio in bosphorus/batch.h).
+    std::string sat_backend;
+
     /// Also harvest general (non-equivalence) learnt binary clauses as
     /// quadratic ANF facts. Off by default: the paper keeps only linear
     /// facts (value and equivalence assignments).

@@ -13,6 +13,7 @@
 
 #include "bosphorus/engine.h"
 #include "bosphorus/problem.h"
+#include "bosphorus/sat_backend.h"
 #include "bosphorus/status.h"
 #include "sat/solve_cnf.h"
 
@@ -22,8 +23,12 @@ namespace bosphorus {
 struct SolveConfig {
     EngineConfig engine;        ///< loop parameters (section IV defaults)
     bool preprocess = false;    ///< run the Engine first (the "w" axis)
-    /// Back-end CDCL configuration (minisat-like / lingeling-like / cms).
-    sat::SolverKind solver = sat::kDefaultSolverKind;
+    /// Back-end solver: any spec the bosphorus/sat_backend.h registry
+    /// resolves -- "minisat", "lingeling", "cms" (the paper's Table II
+    /// axis), "dimacs-exec:<cmd>" for an external binary, or a
+    /// user-registered backend. The legacy sat::SolverKind enum still
+    /// assigns here (it converts to the matching name).
+    sat::SolverSpec solver;
     double timeout_s = 5000.0;  ///< total per-instance budget
     double engine_budget_s = 1000.0;  ///< the Engine's share of the budget
 };

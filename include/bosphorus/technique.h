@@ -209,6 +209,13 @@ struct SatTechniqueConfig {
     int64_t conflicts_step = 10'000;   ///< escalation on fact-free steps
     /// Also harvest general learnt binary clauses as quadratic facts.
     bool harvest_binary_clauses = false;
+    /// In-loop solver back end: empty selects the built-in native solver
+    /// (configured by `native_xor`); any registered
+    /// bosphorus/sat_backend.h spec ("minisat", "dimacs-exec:kissat",
+    /// ...) routes the step through that backend instead. Fact harvesting
+    /// then uses whatever the backend can export (external processes
+    /// export nothing; the step still decides SAT/UNSAT).
+    std::string backend;
 };
 
 /// The conflict-bounded SAT step (see SatTechniqueConfig) as a Technique.

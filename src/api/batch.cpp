@@ -184,6 +184,26 @@ std::vector<PortfolioEntry> default_portfolio(const EngineConfig& base) {
     return entries;
 }
 
+std::vector<PortfolioEntry> backend_portfolio(
+    const EngineConfig& base, const std::vector<sat::SolverSpec>& backends) {
+    std::vector<PortfolioEntry> entries;
+    entries.reserve(backends.size());
+    for (const auto& spec : backends) {
+        EngineConfig cfg = base;
+        cfg.sat_backend = spec.spec;
+        // Same seed everywhere: the entries must differ in nothing but
+        // the back end, so the race isolates the solver axis.
+        entries.push_back(
+            {spec.spec.empty() ? std::string("native") : spec.spec, cfg});
+    }
+    return entries;
+}
+
+std::vector<PortfolioEntry> default_backend_portfolio(
+    const EngineConfig& base) {
+    return backend_portfolio(base, {"minisat", "lingeling", "cms"});
+}
+
 Result<PortfolioReport> solve_portfolio(const Problem& problem,
                                         const std::vector<PortfolioEntry>& entries,
                                         unsigned n_threads,

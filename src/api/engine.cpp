@@ -53,6 +53,7 @@ std::vector<std::unique_ptr<Technique>> make_default_techniques(
         sat_cfg.conflicts_max = cfg.sat_conflicts_max;
         sat_cfg.conflicts_step = cfg.sat_conflicts_step;
         sat_cfg.harvest_binary_clauses = cfg.harvest_binary_clauses;
+        sat_cfg.backend = cfg.sat_backend;
         out.push_back(make_sat_technique(sat_cfg));
     }
     return out;

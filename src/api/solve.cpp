@@ -79,12 +79,13 @@ Result<SolveOutcome> solve_anf(const std::vector<Polynomial>& polys,
         core::anf_to_cnf(to_convert, num_vars, conv_cfg);
 
     const double remaining = std::max(0.1, cfg.timeout_s - timer.seconds());
-    const sat::SolveOutcome so =
-        sat::solve_cnf(conv.cnf, cfg.solver, remaining);
-    out.result = so.result;
-    out.solver_stats = so.stats;
-    if (so.result == sat::Result::kSat) {
-        out.model_verified = verify_anf_model(polys, num_vars, so.model);
+    const Result<sat::CnfSolveOutcome> so =
+        sat::solve_cnf_with(conv.cnf, cfg.solver, remaining);
+    if (!so.ok()) return so.status();
+    out.result = so->result;
+    out.solver_stats = so->stats;
+    if (so->result == sat::Result::kSat) {
+        out.model_verified = verify_anf_model(polys, num_vars, so->model);
         if (!out.model_verified) out.result = sat::Result::kUnknown;
     }
     out.seconds = timer.seconds();
@@ -135,11 +136,13 @@ Result<SolveOutcome> solve_cnf_problem(const sat::Cnf& cnf,
     }
 
     const double remaining = std::max(0.1, cfg.timeout_s - timer.seconds());
-    const sat::SolveOutcome so = sat::solve_cnf(work, cfg.solver, remaining);
-    out.result = so.result;
-    out.solver_stats = so.stats;
-    if (so.result == sat::Result::kSat) {
-        out.model_verified = sat::model_satisfies(cnf, so.model);
+    const Result<sat::CnfSolveOutcome> so =
+        sat::solve_cnf_with(work, cfg.solver, remaining);
+    if (!so.ok()) return so.status();
+    out.result = so->result;
+    out.solver_stats = so->stats;
+    if (so->result == sat::Result::kSat) {
+        out.model_verified = sat::model_satisfies(cnf, so->model);
         if (!out.model_verified) out.result = sat::Result::kUnknown;
     }
     out.seconds = timer.seconds();

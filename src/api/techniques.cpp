@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "bosphorus/sat_backend.h"
 #include "bosphorus/technique.h"
 #include "core/anf_system.h"
 #include "sat/solver.h"
@@ -120,6 +121,25 @@ std::vector<Polynomial> equivalences_from_binaries(
     return out;
 }
 
+/// Shared kSat epilogue of every SAT-step flavour (native/backend x
+/// cold/live): build the assignment from `value_at(v)`, verify it
+/// against the live system, and either decide kSat with the solution or
+/// halt without a verdict. One definition so the four paths cannot
+/// drift.
+template <typename ValueAt>
+void decide_from_model(core::AnfSystem& sys, size_t num_vars,
+                       ValueAt value_at, StepReport& report) {
+    std::vector<bool> assignment(num_vars, false);
+    for (Var v = 0; v < num_vars; ++v) assignment[v] = value_at(v);
+    if (sys.check_solution(assignment)) {
+        report.decided = sat::Result::kSat;
+        report.solution = std::move(assignment);
+    } else {
+        // Model fails verification: halt without a verdict.
+        report.decided = sat::Result::kUnknown;
+    }
+}
+
 class SatTechnique final : public Technique {
 public:
     explicit SatTechnique(const SatTechniqueConfig& cfg)
@@ -136,9 +156,31 @@ public:
 
     /// Build the persistent solver for a Session's base system. It is
     /// loaded once and reused across every warm solve; scoped state
-    /// reaches it as native assumption literals in step_live().
+    /// reaches it as native assumption literals in step_live(). With a
+    /// named backend configured, the persistent solver is a registry
+    /// backend instead of the built-in native solver.
     void bind_base(const std::vector<Polynomial>& base,
                    size_t num_vars) override {
+        if (!cfg_.backend.empty()) {
+            live_.reset();
+            live_backend_.reset();
+            auto backend = sat::BackendRegistry::global().create(
+                sat::SolverSpec{cfg_.backend});
+            if (!backend.ok()) {
+                backend_error_ = backend.status();
+                return;
+            }
+            backend_error_ = Status();
+            core::Anf2CnfConfig conv_cfg = cfg_.conv;
+            conv_cfg.native_xor =
+                cfg_.native_xor && (*backend)->supports_native_xor();
+            const core::Anf2CnfResult conv =
+                core::anf_to_cnf(base, num_vars, conv_cfg);
+            live_backend_ = std::move(*backend);
+            live_num_anf_vars_ = conv.num_anf_vars;
+            live_backend_->load(conv.cnf);  // false: okay() stays false
+            return;
+        }
         core::Anf2CnfConfig conv_cfg = cfg_.conv;
         conv_cfg.native_xor = cfg_.native_xor;
         const core::Anf2CnfResult conv =
@@ -150,20 +192,40 @@ public:
         live_->load(conv.cnf);  // a false return leaves okay() false: UNSAT
     }
 
+    // Deliberate: the empty-spec native paths below are NOT routed
+    // through an InTreeBackend adapter. The registry's "cms" adapter
+    // performs XOR recovery the in-loop solver must not (the conversion
+    // already emits native XORs), and the native paths carry the
+    // bit-identical warm-Session/batch trajectory guarantees of PRs 3-4
+    // that a re-route would put at risk. The shared pieces (harvest,
+    // decide_from_model) are factored; the per-path solver plumbing
+    // stays separate on purpose.
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        if (!cfg_.backend.empty()) {
+            if (!backend_error_.ok()) {
+                StepReport report;
+                report.status = backend_error_;
+                return report;
+            }
+            if (live_backend_ && sink.warm_base_valid())
+                return step_live_backend(sys, sink);
+            return step_cold_backend(sys, sink);
+        }
         if (live_ && sink.warm_base_valid()) return step_live(sys, sink);
         return step_cold(sys, sink);
     }
 
 private:
-    /// Deposit the solver's accumulated linear facts -- learnt units,
+    /// Deposit a solver's accumulated linear facts -- learnt units,
     /// equivalences paired up from learnt binaries, and (optionally) the
     /// binaries themselves as quadratic facts -- restricted to the first
-    /// `n_anf_vars` variables. Shared by the cold and live paths so they
-    /// cannot diverge. Returns false once the sink reports contradiction.
-    bool harvest(const sat::Solver& solver, size_t n_anf_vars,
-                 FactSink& sink) {
-        for (const sat::Lit u : solver.learnt_units()) {
+    /// `n_anf_vars` variables. Shared by every cold and live path (native
+    /// and backend) so they cannot diverge. Returns false once the sink
+    /// reports contradiction.
+    bool harvest(const std::vector<sat::Lit>& units,
+                 const std::vector<std::array<sat::Lit, 2>>& binaries,
+                 size_t n_anf_vars, FactSink& sink) {
+        for (const sat::Lit u : units) {
             if (u.var() >= n_anf_vars) continue;
             // u true: var = !sign  ->  polynomial x (+ 1).
             Polynomial f = Polynomial::variable(u.var());
@@ -171,11 +233,10 @@ private:
             sink.add(f);
             if (!sink.okay()) return false;
         }
-        deposit(sink, equivalences_from_binaries(solver.learnt_binaries(),
-                                                 n_anf_vars));
+        deposit(sink, equivalences_from_binaries(binaries, n_anf_vars));
         if (!sink.okay()) return false;
         if (cfg_.harvest_binary_clauses) {
-            for (const auto& b : solver.learnt_binaries()) {
+            for (const auto& b : binaries) {
                 if (b[0].var() >= n_anf_vars || b[1].var() >= n_anf_vars)
                     continue;
                 // (l0 | l1) = 0 in ANF: product of negated literals.
@@ -208,6 +269,10 @@ private:
         sat::Solver::Config scfg;
         scfg.enable_xor = cfg_.native_xor;
         sat::Solver solver(scfg);
+        // Cancellation reaches a *running* solve through the terminate
+        // hook (portfolio losers stop mid-budget, not at the step end).
+        solver.set_terminate_callback(
+            [token = sink.cancel_token()] { return token.cancelled(); });
         const double remaining = std::max(0.1, sink.time_remaining_s());
         sat::Result r = sat::Result::kUnsat;
         if (solver.load(conv.cnf)) {
@@ -222,22 +287,17 @@ private:
         if (r == sat::Result::kSat) {
             // A full solution: report it and stop the loop. It is not used
             // to simplify the ANF (it may not be unique).
-            std::vector<bool> assignment(num_vars, false);
-            for (Var v = 0; v < num_vars; ++v)
-                assignment[v] = solver.model()[v] == sat::LBool::kTrue;
-            if (sys.check_solution(assignment)) {
-                report.decided = sat::Result::kSat;
-                report.solution = std::move(assignment);
-            } else {
-                // Model fails verification: halt without a verdict.
-                report.decided = sat::Result::kUnknown;
-            }
+            decide_from_model(sys, num_vars, [&](Var v) {
+                return solver.model()[v] == sat::LBool::kTrue;
+            }, report);
             return report;
         }
 
         // Undecided within the conflict budget: extract linear equations
         // from the learnt unit and binary clauses.
-        if (!harvest(solver, conv.num_anf_vars, sink)) return report;
+        if (!harvest(solver.learnt_units(), solver.learnt_binaries(),
+                     conv.num_anf_vars, sink))
+            return report;
         if (sink.fresh() == 0) {
             // No new facts: raise the conflict budget (section IV).
             conflict_budget_ = std::min(cfg_.conflicts_max,
@@ -265,6 +325,8 @@ private:
             sink.add(Polynomial::constant(true));  // base itself is UNSAT
             return report;
         }
+        solver.set_terminate_callback(
+            [token = sink.cancel_token()] { return token.cancelled(); });
 
         std::vector<sat::Lit> assumptions;
         const size_t num_vars = sys.num_vars();
@@ -285,15 +347,10 @@ private:
             return report;
         }
         if (r == sat::Result::kSat) {
-            std::vector<bool> assignment(num_vars, false);
-            for (Var v = 0; v < num_vars && v < solver.model().size(); ++v)
-                assignment[v] = solver.model()[v] == sat::LBool::kTrue;
-            if (sys.check_solution(assignment)) {
-                report.decided = sat::Result::kSat;
-                report.solution = std::move(assignment);
-            } else {
-                report.decided = sat::Result::kUnknown;
-            }
+            decide_from_model(sys, num_vars, [&](Var v) {
+                return v < solver.model().size() &&
+                       solver.model()[v] == sat::LBool::kTrue;
+            }, report);
             return report;
         }
 
@@ -303,7 +360,9 @@ private:
         // system, never of the assumptions, so depositing them at any
         // scope (and re-depositing after a pop; the sink deduplicates)
         // is sound.
-        if (!harvest(solver, live_num_anf_vars_, sink)) return report;
+        if (!harvest(solver.learnt_units(), solver.learnt_binaries(),
+                     live_num_anf_vars_, sink))
+            return report;
         Log{sink.verbosity()}.info(
             2, "iter %zu SAT(live): %zu assumptions, budget %lld, %zu new",
             sink.iteration(), assumptions.size(),
@@ -320,9 +379,120 @@ private:
         return report;
     }
 
+    /// Cold step through a registry backend: a fresh backend per step
+    /// gets the scope-simplified system's CNF and one bounded solve; the
+    /// verdict handling mirrors step_cold exactly, and whatever facts the
+    /// backend can export are harvested (external processes export none
+    /// -- the step still decides SAT/UNSAT and escalates its budget).
+    StepReport step_cold_backend(core::AnfSystem& sys, FactSink& sink) {
+        StepReport report;
+        if (sink.cancelled()) return report;
+
+        auto backend = sat::BackendRegistry::global().create(
+            sat::SolverSpec{cfg_.backend});
+        if (!backend.ok()) {
+            report.status = backend.status();
+            return report;
+        }
+        sat::SolverBackend& b = **backend;
+        core::Anf2CnfConfig conv_cfg = cfg_.conv;
+        conv_cfg.native_xor = cfg_.native_xor && b.supports_native_xor();
+        const size_t num_vars = sys.num_vars();
+        const core::Anf2CnfResult conv =
+            core::anf_to_cnf(sys.to_polynomials(), num_vars, conv_cfg);
+
+        b.set_terminate_callback(
+            [token = sink.cancel_token()] { return token.cancelled(); });
+        const double remaining = std::max(0.1, sink.time_remaining_s());
+        sat::Result r = sat::Result::kUnsat;
+        if (b.load(conv.cnf)) {
+            r = b.solve(conflict_budget_, remaining);
+        }
+
+        if (r == sat::Result::kUnsat || !b.okay()) {
+            sink.add(Polynomial::constant(true));
+            return report;
+        }
+        if (r == sat::Result::kSat) {
+            decide_from_model(sys, num_vars, [&](Var v) {
+                return b.value(v) == sat::LBool::kTrue;
+            }, report);
+            return report;
+        }
+
+        if (!harvest(b.learnt_units(), b.learnt_binaries(),
+                     conv.num_anf_vars, sink))
+            return report;
+        if (sink.fresh() == 0) {
+            conflict_budget_ = std::min(cfg_.conflicts_max,
+                                        conflict_budget_ + cfg_.conflicts_step);
+        }
+        Log{sink.verbosity()}.info(
+            2, "iter %zu SAT(%s): budget %lld, %zu new facts",
+            sink.iteration(), cfg_.backend.c_str(),
+            static_cast<long long>(conflict_budget_), sink.fresh());
+        return report;
+    }
+
+    /// Warm step through the persistent Session backend: the current
+    /// scope reaches the backend as assumption literals (backends
+    /// without native assumptions degrade them to a cold solve
+    /// internally -- verdict-equivalent either way), mirroring
+    /// step_live. Falls back to one cold backend step when the warm
+    /// solve was fact-free, so warm is never less decisive.
+    StepReport step_live_backend(core::AnfSystem& sys, FactSink& sink) {
+        StepReport report;
+        if (sink.cancelled()) return report;
+
+        sat::SolverBackend& b = *live_backend_;
+        if (!b.okay()) {
+            sink.add(Polynomial::constant(true));  // base itself is UNSAT
+            return report;
+        }
+        b.set_terminate_callback(
+            [token = sink.cancel_token()] { return token.cancelled(); });
+
+        const size_t num_vars = sys.num_vars();
+        size_t n_assumed = 0;
+        for (Var v = 0; v < num_vars && v < live_num_anf_vars_; ++v) {
+            const core::VarState st = sys.resolve(v);
+            if (st.kind == core::VarState::Kind::kFixed) {
+                b.assume(sat::mk_lit(v, !st.value));
+                ++n_assumed;
+            }
+        }
+
+        const double remaining = std::max(0.1, sink.time_remaining_s());
+        const sat::Result r = b.solve(conflict_budget_, remaining);
+
+        if (r == sat::Result::kUnsat || !b.okay()) {
+            sink.add(Polynomial::constant(true));
+            return report;
+        }
+        if (r == sat::Result::kSat) {
+            decide_from_model(sys, num_vars, [&](Var v) {
+                return b.value(v) == sat::LBool::kTrue;
+            }, report);
+            return report;
+        }
+
+        if (!harvest(b.learnt_units(), b.learnt_binaries(),
+                     live_num_anf_vars_, sink))
+            return report;
+        Log{sink.verbosity()}.info(
+            2, "iter %zu SAT(%s live): %zu assumptions, %zu new",
+            sink.iteration(), cfg_.backend.c_str(), n_assumed, sink.fresh());
+        if (sink.fresh() == 0) {
+            return step_cold_backend(sys, sink);
+        }
+        return report;
+    }
+
     SatTechniqueConfig cfg_;
     int64_t conflict_budget_;
     std::unique_ptr<sat::Solver> live_;  ///< persistent Session solver
+    std::unique_ptr<sat::SolverBackend> live_backend_;  ///< named-backend twin
+    Status backend_error_;  ///< a failed bind_base, surfaced at step()
     size_t live_num_anf_vars_ = 0;
 };
 

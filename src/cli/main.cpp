@@ -45,7 +45,15 @@ void usage() {
         "  --cnf FILE      write processed CNF (with learnt facts)\n"
         "  --anfout FILE   write processed ANF\n"
         "  --solve         run a back-end SAT solver on the processed CNF\n"
-        "  --solver NAME   minisat | lingeling | cms (default cms)\n"
+        "  --solver SPEC   back-end from the registry: minisat | lingeling\n"
+        "                  | cms (default) | dimacs-exec:CMD | any\n"
+        "                  registered name\n"
+        "  --solver-cmd CMD  shorthand for --solver dimacs-exec:CMD (run\n"
+        "                  an external DIMACS solver binary; the CNF file\n"
+        "                  path is appended as its last argument)\n"
+        "  --loop-solver SPEC  back end of the in-loop conflict-bounded\n"
+        "                  SAT step (default: the built-in native solver)\n"
+        "  --list-solvers  print the registered back-ends and exit\n"
         "\n"
         "concurrency:\n"
         "  --batch FILE... process many instances across a thread pool\n"
@@ -121,7 +129,7 @@ struct OutputOptions {
     std::string cnf_out;
     std::string anf_out;
     bool solve_after = false;
-    sat::SolverKind solver_kind = sat::kDefaultSolverKind;
+    sat::SolverSpec solver;
 };
 int finish_run(const Report& res, const OutputOptions& out_opt,
                size_t problem_vars);
@@ -174,6 +182,16 @@ int run(int argc, char** argv) {
         else if (a == "--anfout") anf_out = next();
         else if (a == "--solve") solve_after = true;
         else if (a == "--solver") solver_name = next();
+        else if (a == "--solver-cmd") solver_name = "dimacs-exec:" + next();
+        else if (a == "--loop-solver") opt.sat_backend = next();
+        else if (a == "--list-solvers") {
+            for (const auto& info : sat::BackendRegistry::global().list()) {
+                std::printf("%-12s %s%s\n", info.name.c_str(),
+                            info.description.c_str(),
+                            info.builtin ? "" : " (user-registered)");
+            }
+            return 0;
+        }
         else if (a == "-M") {
             const unsigned m = std::stoul(next());
             opt.xl.m_budget = m;
@@ -219,8 +237,18 @@ int run(int argc, char** argv) {
         return 2;
     }
 
-    const auto solver_kind = sat::solver_kind_from_name(solver_name);
-    if (!solver_kind.ok()) return fail(solver_kind.status());
+    const sat::SolverSpec solver_spec{solver_name};
+    // Validate the back-end (and --loop-solver) up front: a typo should
+    // fail before any solving starts, not after the engine ran.
+    {
+        auto probe = sat::BackendRegistry::global().create(solver_spec);
+        if (!probe.ok()) return fail(probe.status());
+    }
+    if (!opt.sat_backend.empty()) {
+        auto probe = sat::BackendRegistry::global().create(
+            sat::SolverSpec{opt.sat_backend});
+        if (!probe.ok()) return fail(probe.status());
+    }
 
     Result<Problem> problem = anf_in.empty()
                                   ? Problem::from_cnf_file(cnf_in)
@@ -232,7 +260,7 @@ int run(int argc, char** argv) {
     out_opt.cnf_out = cnf_out;
     out_opt.anf_out = anf_out;
     out_opt.solve_after = solve_after;
-    out_opt.solver_kind = *solver_kind;
+    out_opt.solver = solver_spec;
 
     if (!sweep_file.empty()) {
         if (portfolio_mode || solve_after || !cnf_out.empty() ||
@@ -296,17 +324,18 @@ int finish_run(const Report& res, const OutputOptions& out_opt,
     }
 
     if (out_opt.solve_after) {
-        const sat::SolveOutcome so =
-            sat::solve_cnf(res.processed_cnf.cnf, out_opt.solver_kind);
-        if (so.result == sat::Result::kUnsat) {
+        const Result<sat::CnfSolveOutcome> so =
+            sat::solve_cnf_with(res.processed_cnf.cnf, out_opt.solver);
+        if (!so.ok()) return fail(so.status());
+        if (so->result == sat::Result::kUnsat) {
             std::puts("s UNSATISFIABLE");
             return 20;
         }
-        if (so.result == sat::Result::kSat) {
+        if (so->result == sat::Result::kSat) {
             std::puts("s SATISFIABLE");
-            std::vector<bool> solution(so.model.size());
-            for (size_t v = 0; v < so.model.size(); ++v)
-                solution[v] = so.model[v] == sat::LBool::kTrue;
+            std::vector<bool> solution(so->model.size());
+            for (size_t v = 0; v < so->model.size(); ++v)
+                solution[v] = so->model[v] == sat::LBool::kTrue;
             print_model(solution, problem_vars);
             return 10;
         }

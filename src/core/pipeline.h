@@ -23,8 +23,10 @@ namespace bosphorus::core {
 
 struct PipelineConfig {
     Options bosphorus;             ///< loop parameters (section IV defaults)
-    /// Back-end solver; matches the CLI's documented default (`cms`).
-    sat::SolverKind solver = sat::kDefaultSolverKind;
+    /// Back-end solver spec (any bosphorus/sat_backend.h registry name);
+    /// matches the CLI's documented default (`cms`). The legacy
+    /// sat::SolverKind enum still assigns here.
+    sat::SolverSpec solver;
     bool use_bosphorus = false;    ///< the w/o vs w axis of Table II
     double timeout_s = 5000.0;     ///< total per-instance budget
     double bosphorus_budget_s = 1000.0;  ///< Bosphorus's share of the budget

@@ -1,0 +1,358 @@
+#include "sat/dimacs_exec.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sat/dimacs.h"
+#include "sat/solve_cnf.h"
+#include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOSPHORUS_HAS_SUBPROCESS 1
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+#endif
+
+namespace bosphorus::sat {
+
+#ifdef BOSPHORUS_HAS_SUBPROCESS
+
+namespace {
+
+/// Fail fast on commands that cannot possibly run: resolve the command
+/// line's first token (the solver binary) against the filesystem / PATH
+/// and require it to be executable. Catches `--solver-cmd kissatt`
+/// typos at backend creation instead of one silent kUnknown per solve.
+Status validate_command(const std::string& command) {
+    std::string head = command.substr(0, command.find_first_of(" \t"));
+    if (head.empty())
+        return Status::invalid_argument("dimacs-exec: blank command");
+    const auto runnable = [](const std::string& p) {
+        return ::access(p.c_str(), X_OK) == 0;
+    };
+    if (head.find('/') != std::string::npos) {
+        if (runnable(head)) return Status();
+    } else {
+        const char* path_env = ::getenv("PATH");
+        std::istringstream dirs(path_env ? path_env : "");
+        std::string dir;
+        while (std::getline(dirs, dir, ':')) {
+            if (!dir.empty() && runnable(dir + "/" + head)) return Status();
+        }
+    }
+    return Status::invalid_argument(
+        "dimacs-exec: solver command not found or not executable: '" + head +
+        "'");
+}
+
+/// An owned temp file path, unlinked on destruction.
+class TempFile {
+public:
+    static ::bosphorus::Result<TempFile> create(const char* tag) {
+        std::string tmpl = "/tmp/bosphorus-";
+        tmpl += tag;
+        tmpl += "-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        const int fd = ::mkstemp(buf.data());
+        if (fd < 0)
+            return Status::io_error("dimacs-exec: cannot create a temp file");
+        ::close(fd);
+        TempFile t;
+        t.path_ = buf.data();
+        return t;
+    }
+
+    TempFile() = default;
+    TempFile(TempFile&& o) noexcept : path_(std::move(o.path_)) {
+        o.path_.clear();
+    }
+    TempFile& operator=(TempFile&& o) noexcept {
+        if (this != &o) {
+            reset();
+            path_ = std::move(o.path_);
+            o.path_.clear();
+        }
+        return *this;
+    }
+    TempFile(const TempFile&) = delete;
+    TempFile& operator=(const TempFile&) = delete;
+    ~TempFile() { reset(); }
+
+    const std::string& path() const { return path_; }
+
+private:
+    void reset() {
+        if (!path_.empty()) ::unlink(path_.c_str());
+    }
+    std::string path_;
+};
+
+struct ParsedOutput {
+    Result result = Result::kUnknown;
+    std::vector<int64_t> model_lits;  // signed DIMACS values from v lines
+};
+
+/// Parse SAT-competition output: the "s" status line decides the verdict,
+/// "v" lines (whitespace-separated signed literals, 0 terminator
+/// optional) carry the model.
+ParsedOutput parse_solver_output(std::istream& in) {
+    ParsedOutput out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("s ", 0) == 0) {
+            if (line.find("UNSATISFIABLE") != std::string::npos)
+                out.result = Result::kUnsat;
+            else if (line.find("SATISFIABLE") != std::string::npos)
+                out.result = Result::kSat;
+        } else if (line.rfind("v", 0) == 0 &&
+                   (line.size() == 1 || line[1] == ' ' || line[1] == '\t')) {
+            std::istringstream vs(line.substr(1));
+            int64_t lit = 0;
+            while (vs >> lit) {
+                if (lit != 0) out.model_lits.push_back(lit);
+            }
+        }
+    }
+    return out;
+}
+
+class DimacsExecBackend final : public SolverBackend {
+public:
+    explicit DimacsExecBackend(std::string command)
+        : command_(std::move(command)) {}
+
+    std::string name() const override { return "dimacs-exec"; }
+
+    // num_vars() includes the XOR-expansion auxiliaries (matching the
+    // in-tree adapters), so ensure_vars(num_vars() + 1) always yields a
+    // genuinely fresh, unconstrained variable.
+    void ensure_vars(size_t n) override {
+        expanded_.num_vars = std::max(expanded_.num_vars, n);
+    }
+    size_t num_vars() const override { return expanded_.num_vars; }
+
+    bool add_clause(const std::vector<Lit>& lits) override {
+        expanded_.clauses.push_back(lits);
+        if (lits.empty()) ok_ = false;
+        return ok_;
+    }
+
+    // XORs are expanded to plain clauses as they arrive (the written
+    // file is plain DIMACS; external solvers know no "x" lines), so a
+    // warm Session's repeated solves never re-pay the expansion.
+    bool add_xor(const XorConstraint& x) override {
+        append_xor_as_clauses(expanded_, x);
+        return ok_;
+    }
+
+    void assume(Lit l) override { assumptions_.push_back(l); }
+
+    Result solve(int64_t /*conflict_budget: not expressible*/,
+                 double timeout_s) override {
+        const std::vector<Lit> assumptions = std::move(assumptions_);
+        assumptions_.clear();
+        failed_all_ = false;
+        model_.clear();
+        if (interrupted_.load(std::memory_order_acquire))
+            return Result::kUnknown;
+        if (!ok_) return Result::kUnsat;
+
+        // The formula the child sees: the pre-expanded clauses plus the
+        // assumptions degraded to unit clauses.
+        Cnf work = expanded_;
+        for (const Lit a : assumptions) work.add_clause({a});
+
+        auto in_file = TempFile::create("dimacs");
+        auto out_file = TempFile::create("out");
+        if (!in_file.ok() || !out_file.ok()) return Result::kUnknown;
+        {
+            std::ofstream out(in_file->path());
+            if (!out) return Result::kUnknown;
+            write_dimacs(out, work);
+            // A truncated file (disk full, I/O error) could read as a
+            // *stronger* formula, turning the child's UNSAT -- which is
+            // taken on trust -- into a wrong verdict. No file, no solve.
+            out.flush();
+            if (!out) return Result::kUnknown;
+        }
+
+        const Result r = run_child(in_file->path(), out_file->path(),
+                                   timeout_s, work);
+        if (r == Result::kUnsat) {
+            if (assumptions.empty()) ok_ = false;
+            failed_all_ = !assumptions.empty();
+        }
+        return r;
+    }
+
+    LBool value(Var v) const override {
+        return v < model_.size() ? model_[v] : LBool::kFalse;
+    }
+
+    /// Degraded-assumption backend: a refuted solve blames every
+    /// assumption (the subprocess cannot attribute the conflict).
+    bool failed(Lit) const override { return failed_all_ || !ok_; }
+
+    bool okay() const override { return ok_; }
+
+    void interrupt() override {
+        interrupted_.store(true, std::memory_order_release);
+    }
+    void clear_interrupt() override {
+        interrupted_.store(false, std::memory_order_release);
+    }
+    void set_terminate_callback(std::function<bool()> cb) override {
+        terminate_cb_ = std::move(cb);
+    }
+
+    Solver::Stats stats() const override { return {}; }  // not observable
+
+    bool supports_assumptions() const override { return false; }
+
+private:
+    /// Fork/exec `command_ '<in_path>'` with stdout redirected to
+    /// out_path, poll for completion / timeout / interrupt, and parse the
+    /// result. The child runs in its own process group so a kill reaches
+    /// grandchildren spawned by the shell.
+    Result run_child(const std::string& in_path, const std::string& out_path,
+                     double timeout_s, const Cnf& work) {
+        Timer timer;
+        const std::string cmdline = command_ + " '" + in_path + "'";
+
+        const pid_t pid = ::fork();
+        if (pid < 0) return Result::kUnknown;
+        if (pid == 0) {
+            // Child: own process group, stdout -> out_path.
+            ::setpgid(0, 0);
+#if defined(__linux__)
+            // Best-effort orphan protection: setpgid detached us from the
+            // terminal's foreground group, so a Ctrl-C that kills the
+            // host process would otherwise leave the solver burning CPU
+            // forever. Die with the parent instead.
+            ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+            if (::getppid() == 1) ::_exit(127);  // parent already gone
+#endif
+            const int fd =
+                ::open(out_path.c_str(), O_WRONLY | O_TRUNC, 0600);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::close(fd);
+            }
+            ::execl("/bin/sh", "sh", "-c", cmdline.c_str(),
+                    static_cast<char*>(nullptr));
+            ::_exit(127);
+        }
+
+        // Parent: poll, enforcing timeout / interrupt / terminate hook.
+        bool killed = false;
+        int status = 0;
+        for (;;) {
+            const pid_t done = ::waitpid(pid, &status, WNOHANG);
+            if (done == pid) break;
+            if (done < 0 && errno != EINTR) {
+                // waitpid itself failed: stop the child rather than leak
+                // it running unsupervised, then reap it.
+                ::kill(-pid, SIGKILL);
+                ::kill(pid, SIGKILL);
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+                killed = true;
+                break;
+            }
+            const bool stop =
+                interrupted_.load(std::memory_order_acquire) ||
+                (terminate_cb_ && terminate_cb_()) ||
+                (timeout_s >= 0 && timer.seconds() > timeout_s);
+            if (stop) {
+                ::kill(-pid, SIGKILL);
+                ::kill(pid, SIGKILL);  // in case setpgid lost the race
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+                killed = true;
+                break;
+            }
+            struct timespec ts {0, 2'000'000};  // 2 ms
+            ::nanosleep(&ts, nullptr);
+        }
+        if (killed) return Result::kUnknown;
+
+        std::ifstream out(out_path);
+        const ParsedOutput parsed = parse_solver_output(out);
+        if (parsed.result == Result::kUnknown) {
+            // Distinguish "the solver gave up" from "there is no solver":
+            // sh exits 127 when the command cannot be run. The interface
+            // has no error channel per solve, so surface it on stderr --
+            // once -- instead of silently looking like a timeout.
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 127 &&
+                !exec_failure_reported_) {
+                exec_failure_reported_ = true;
+                std::fprintf(stderr,
+                             "c dimacs-exec: command not runnable (exit "
+                             "127): %s\n",
+                             command_.c_str());
+            }
+        }
+        if (parsed.result == Result::kSat) {
+            model_.assign(work.num_vars, LBool::kFalse);
+            for (const int64_t lit : parsed.model_lits) {
+                const uint64_t v = static_cast<uint64_t>(
+                    lit > 0 ? lit : -lit) - 1;
+                if (v < model_.size())
+                    model_[v] = lit > 0 ? LBool::kTrue : LBool::kFalse;
+            }
+            // Trust but verify: a model that fails the formula we wrote
+            // (including the degraded assumption units) is no verdict.
+            if (!model_satisfies(work, model_)) {
+                model_.clear();
+                return Result::kUnknown;
+            }
+        }
+        return parsed.result;
+    }
+
+    std::string command_;
+    Cnf expanded_;  ///< the formula as written: clauses only, XORs cut
+    bool ok_ = true;
+    bool failed_all_ = false;
+    std::vector<Lit> assumptions_;
+    std::vector<LBool> model_;
+    std::atomic<bool> interrupted_{false};
+    std::function<bool()> terminate_cb_;
+    bool exec_failure_reported_ = false;
+};
+
+}  // namespace
+
+::bosphorus::Result<std::unique_ptr<SolverBackend>> make_dimacs_exec_backend(
+    const std::string& command) {
+    if (command.empty())
+        return Status::invalid_argument(
+            "dimacs-exec needs a command: use \"dimacs-exec:<cmd>\" (the "
+            "DIMACS file path is appended as the last argument)");
+    const Status valid = validate_command(command);
+    if (!valid.ok()) return valid;
+    return std::unique_ptr<SolverBackend>(new DimacsExecBackend(command));
+}
+
+#else  // !BOSPHORUS_HAS_SUBPROCESS
+
+::bosphorus::Result<std::unique_ptr<SolverBackend>> make_dimacs_exec_backend(
+    const std::string&) {
+    return Status::error(StatusCode::kUnimplemented,
+                         "dimacs-exec requires a POSIX platform");
+}
+
+#endif
+
+}  // namespace bosphorus::sat

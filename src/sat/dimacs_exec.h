@@ -1,0 +1,30 @@
+// The external-process DIMACS back end behind the registry's
+// "dimacs-exec:<command>" spec: write the formula as a DIMACS file, run
+// any SAT-competition-conformant solver binary on it, parse the
+// "s SATISFIABLE"/"s UNSATISFIABLE" status and "v" model lines, and kill
+// the child (by process group) on timeout or interrupt.
+//
+// Assumptions degrade to cold solves: each solve() writes the buffered
+// formula plus one unit clause per pending assumption, so external
+// solvers need no incremental interface. Native XOR constraints are
+// expanded into plain clauses in the written file (external solvers
+// speak plain DIMACS). SAT models are verified against the written
+// formula before being trusted; a nonconformant model yields kUnknown.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bosphorus/sat_backend.h"
+#include "bosphorus/status.h"
+
+namespace bosphorus::sat {
+
+/// Build a dimacs-exec backend running `command` (a shell command line;
+/// the DIMACS file path is appended as its last, quoted argument).
+/// Fails with kInvalidArgument when `command` is empty and with
+/// kUnimplemented on platforms without fork/exec.
+::bosphorus::Result<std::unique_ptr<SolverBackend>> make_dimacs_exec_backend(
+    const std::string& command);
+
+}  // namespace bosphorus::sat

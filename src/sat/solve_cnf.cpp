@@ -25,6 +25,39 @@ const char* solver_kind_name(SolverKind kind) {
         "unknown solver '" + name + "' (expected minisat, lingeling or cms)");
 }
 
+void append_xor_as_clauses(Cnf& cnf, const XorConstraint& x, size_t cut) {
+    std::vector<Var> work = x.vars;
+    const bool rhs = x.rhs;
+    while (work.size() > cut) {
+        // a ^ b ^ rest = rhs  ->  t = a ^ b;  t ^ rest = rhs
+        const Var a = work[0], b = work[1];
+        const Var t = cnf.new_var();
+        // t ^ a ^ b = 0 as CNF: forbid the odd-parity assignments.
+        cnf.add_clause({mk_lit(t, true), mk_lit(a, false), mk_lit(b, false)});
+        cnf.add_clause({mk_lit(t, true), mk_lit(a, true), mk_lit(b, true)});
+        cnf.add_clause({mk_lit(t, false), mk_lit(a, false), mk_lit(b, true)});
+        cnf.add_clause({mk_lit(t, false), mk_lit(a, true), mk_lit(b, false)});
+        work.erase(work.begin(), work.begin() + 2);
+        work.insert(work.begin(), t);
+    }
+    const size_t l = work.size();
+    if (l == 0) {
+        if (rhs) cnf.add_clause({});  // 0 = 1: the empty clause
+        return;
+    }
+    // Enumerate all assignments of the short XOR with the wrong parity.
+    for (uint32_t bits = 0; bits < (1u << l); ++bits) {
+        bool parity = false;
+        for (size_t i = 0; i < l; ++i) parity ^= (bits >> i) & 1;
+        if (parity == rhs) continue;  // satisfying assignment, allowed
+        std::vector<Lit> clause;
+        clause.reserve(l);
+        for (size_t i = 0; i < l; ++i)
+            clause.push_back(mk_lit(work[i], ((bits >> i) & 1) != 0));
+        cnf.add_clause(std::move(clause));
+    }
+}
+
 std::vector<XorConstraint> recover_xors(const Cnf& cnf, size_t max_len) {
     // Group clauses by their sorted variable set; a set of l variables
     // encodes an XOR iff exactly the 2^(l-1) clauses of one sign-parity are
@@ -101,10 +134,10 @@ bool model_satisfies(const Cnf& cnf, const std::vector<LBool>& model) {
     return true;
 }
 
-SolveOutcome solve_cnf(const Cnf& cnf, SolverKind kind, double timeout_s,
+CnfSolveOutcome solve_cnf(const Cnf& cnf, SolverKind kind, double timeout_s,
                        int64_t conflict_budget) {
     Timer timer;
-    SolveOutcome out;
+    CnfSolveOutcome out;
 
     Cnf work = cnf;
     Preprocessor prep;

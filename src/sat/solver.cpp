@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "sat/solve_cnf.h"
 #include "sat/xor_engine.h"
 
 namespace bosphorus::sat {
@@ -91,36 +92,15 @@ bool Solver::add_xor(const XorConstraint& x) {
         return true;
     }
 
-    // No native XOR support: expand into CNF, cutting long constraints with
-    // fresh auxiliary variables to bound the 2^(l-1) clause blow-up.
-    constexpr size_t kCut = 5;
-    std::vector<Var> work = std::move(kept);
-    while (work.size() > kCut) {
-        // a ^ b ^ rest = rhs  ->  t = a ^ b;  t ^ rest = rhs
-        const Var a = work[0], b = work[1];
-        const Var t = new_var();
-        // t ^ a ^ b = 0 as CNF (parity-odd assignments forbidden):
-        add_clause({mk_lit(t, true), mk_lit(a, false), mk_lit(b, false)});
-        add_clause({mk_lit(t, true), mk_lit(a, true), mk_lit(b, true)});
-        add_clause({mk_lit(t, false), mk_lit(a, false), mk_lit(b, true)});
-        add_clause({mk_lit(t, false), mk_lit(a, true), mk_lit(b, false)});
-        work.erase(work.begin(), work.begin() + 2);
-        work.insert(work.begin(), t);
-        if (!ok_) return false;
-    }
-    // Enumerate all assignments of the short XOR with the wrong parity.
-    const size_t l = work.size();
-    for (uint32_t bits = 0; bits < (1u << l); ++bits) {
-        bool parity = false;
-        for (size_t i = 0; i < l; ++i) parity ^= (bits >> i) & 1;
-        if (parity == rhs) continue;  // satisfying assignment, allowed
-        std::vector<Lit> clause;
-        clause.reserve(l);
-        for (size_t i = 0; i < l; ++i) {
-            const bool bit_is_one = (bits >> i) & 1;
-            // Forbid this assignment: literal opposite of the bit.
-            clause.push_back(mk_lit(work[i], bit_is_one));
-        }
+    // No native XOR support: expand into CNF through the shared
+    // append_xor_as_clauses helper (sat/solve_cnf.h), which cuts long
+    // constraints with fresh auxiliary variables to bound the 2^(l-1)
+    // clause blow-up.
+    Cnf expansion;
+    expansion.num_vars = num_vars();
+    append_xor_as_clauses(expansion, XorConstraint{std::move(kept), rhs});
+    while (num_vars() < expansion.num_vars) new_var();
+    for (auto& clause : expansion.clauses) {
         if (!add_clause(std::move(clause))) return false;
     }
     return ok_;
@@ -521,8 +501,21 @@ Result Solver::solve(int64_t conflict_budget, double timeout_s) {
 Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
                               int64_t conflict_budget, double timeout_s) {
     cancel_until(0);  // make repeated solve calls on one instance safe
+    failed_assumptions_.clear();
     if (!ok_) return Result::kUnsat;
     Timer timer;
+
+    // Sticky interrupt + IPASIR-style terminate hook. The atomic flag is
+    // checked at every conflict and decision; the (potentially costlier)
+    // callback only every 128th poll.
+    uint32_t poll_counter = 0;
+    auto stop_requested = [&]() -> bool {
+        if (interrupt_.load(std::memory_order_acquire)) return true;
+        if (terminate_cb_ && (++poll_counter & 127u) == 0 && terminate_cb_())
+            return true;
+        return false;
+    };
+    if (stop_requested()) return Result::kUnknown;
 
     if (xor_engine_ && !xor_engine_->gauss_jordan_level0()) {
         ok_ = false;
@@ -591,6 +584,10 @@ Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
                 result = Result::kUnknown;
                 break;
             }
+            if (stop_requested()) {
+                result = Result::kUnknown;
+                break;
+            }
         } else {
             if (conflicts_since_restart >= restart_limit) {
                 ++stats_.restarts;
@@ -628,7 +625,13 @@ Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
                 }
             }
             if (failed_assumption) {
+                failed_assumptions_.push_back(
+                    assumptions[decision_level()]);
                 result = Result::kUnsat;
+                break;
+            }
+            if (stop_requested()) {
+                result = Result::kUnknown;
                 break;
             }
             if (next == lit_undef()) next = pick_branch_lit();

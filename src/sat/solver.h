@@ -19,7 +19,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -89,6 +91,39 @@ public:
                           double timeout_s = -1.0);
 
     bool okay() const { return ok_; }
+
+    /// When the last solve_assuming call returned kUnsat with okay()
+    /// still true: the assumption literal the clause database forced
+    /// false (at most one entry -- the search stops at the first refuted
+    /// assumption). NOTE this is a *subset* of the IPASIR "failed" set:
+    /// assumptions enqueued earlier may have participated in forcing it
+    /// and are not listed. Callers needing a sound failed set must treat
+    /// every assumption of the refuted call as potentially involved (the
+    /// backend adapters do exactly that). Empty after a SAT or
+    /// outright-UNSAT call.
+    const std::vector<Lit>& failed_assumptions() const {
+        return failed_assumptions_;
+    }
+
+    /// Ask a running solve() to stop at its next poll point (it returns
+    /// kUnknown). Safe to call from any thread; sticky until
+    /// clear_interrupt(), so an interrupt that lands between solves still
+    /// stops the next one.
+    void interrupt() { interrupt_.store(true, std::memory_order_release); }
+    /// Re-arm after interrupt(): subsequent solves run normally.
+    void clear_interrupt() { interrupt_.store(false, std::memory_order_release); }
+    /// True once interrupt() has been called and not yet cleared.
+    bool interrupt_requested() const {
+        return interrupt_.load(std::memory_order_acquire);
+    }
+
+    /// Install a callback polled periodically during solve(); returning
+    /// true stops the search with kUnknown (the IPASIR terminate hook --
+    /// this is how cancellation tokens reach a running solver). The
+    /// callback runs on the solving thread; pass nullptr to remove.
+    void set_terminate_callback(std::function<bool()> cb) {
+        terminate_cb_ = std::move(cb);
+    }
 
     /// After kSat: the satisfying assignment, indexed by variable.
     const std::vector<LBool>& model() const { return model_; }
@@ -193,6 +228,9 @@ private:
     std::vector<Lit> analyze_clear_;
 
     std::vector<LBool> model_;
+    std::vector<Lit> failed_assumptions_;  // refuted by the last solve call
+    std::atomic<bool> interrupt_{false};
+    std::function<bool()> terminate_cb_;
     std::vector<Lit> learnt_units_;
     size_t units_reported_ = 0;  // trail prefix already exported as units
     std::vector<std::array<Lit, 2>> learnt_binaries_;

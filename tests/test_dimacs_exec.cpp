@@ -1,0 +1,330 @@
+// End-to-end tests of the "dimacs-exec" external-process backend.
+//
+// Two kinds of external solver are exercised:
+//
+//  * THIS BINARY, re-executed with --dimacs-solver: a real, conformant
+//    DIMACS solver (a sat::Solver behind SAT-competition output), used
+//    for randomised verdict equivalence through the subprocess path.
+//    The custom main() below dispatches the mode before gtest starts.
+//
+//  * Scripted fakes written to a temp dir (`sh` scripts emitting fixed
+//    "s ..."/"v ..." lines, sleeping, or printing garbage), used for the
+//    output-parsing, model-verification, timeout/kill and interrupt
+//    paths. CI additionally runs a scripted fake against the CLI's
+//    --solver-cmd (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bosphorus/bosphorus.h"
+#include "cnfgen/generators.h"
+#include "sat/dimacs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#define BOSPHORUS_EXEC_TESTS 1
+#endif
+
+#ifdef BOSPHORUS_EXEC_TESTS
+
+namespace bosphorus::sat {
+namespace {
+
+using testutil::cnf_models;
+
+/// Path of the running test binary (argv[0], resolved by main below).
+std::string g_self;
+
+std::string self_solver_command() { return g_self + " --dimacs-solver"; }
+
+/// Write an executable shell script and return its path.
+std::string write_script(const std::string& name, const std::string& body) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/" + name;
+    {
+        std::ofstream out(path);
+        out << "#!/bin/sh\n" << body;
+    }
+    ::chmod(path.c_str(), 0755);
+    return path;
+}
+
+Result solve_via(const std::string& command, const Cnf& cnf,
+                 double timeout_s = 30.0,
+                 std::vector<LBool>* model = nullptr) {
+    auto backend = BackendRegistry::global().create(
+        SolverSpec{"dimacs-exec:" + command});
+    EXPECT_TRUE(backend.ok());
+    if (!backend.ok()) return Result::kUnknown;
+    SolverBackend& b = **backend;
+    if (!b.load(cnf)) return Result::kUnsat;
+    const Result r = b.solve(-1, timeout_s);
+    if (model && r == Result::kSat) {
+        model->assign(cnf.num_vars, LBool::kFalse);
+        for (Var v = 0; v < cnf.num_vars; ++v) (*model)[v] = b.value(v);
+    }
+    return r;
+}
+
+TEST(DimacsExec, EmptyCommandIsRejected) {
+    const auto r =
+        BackendRegistry::global().create(SolverSpec{"dimacs-exec"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ::bosphorus::StatusCode::kInvalidArgument);
+}
+
+TEST(DimacsExec, ScriptedSatVerdictWithVerifiedModel) {
+    // (x1) & (x2 | x3): the fake's fixed model 1 2 -3 satisfies it.
+    Cnf cnf;
+    cnf.num_vars = 3;
+    cnf.add_clause({mk_lit(0, false)});
+    cnf.add_clause({mk_lit(1, false), mk_lit(2, false)});
+    const std::string script = write_script(
+        "fake_sat.sh", "echo 'c fake'\necho 's SATISFIABLE'\necho 'v 1 2 -3 0'\n");
+    std::vector<LBool> model;
+    EXPECT_EQ(solve_via(script, cnf, 30.0, &model), Result::kSat);
+    ASSERT_EQ(model.size(), 3u);
+    EXPECT_EQ(model[0], LBool::kTrue);
+    EXPECT_EQ(model[1], LBool::kTrue);
+    EXPECT_EQ(model[2], LBool::kFalse);
+}
+
+TEST(DimacsExec, NonconformantModelIsNoVerdict) {
+    // The fake claims SAT with a model violating the only clause.
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string script = write_script(
+        "fake_lying.sh", "echo 's SATISFIABLE'\necho 'v -1 0'\n");
+    EXPECT_EQ(solve_via(script, cnf), Result::kUnknown);
+}
+
+TEST(DimacsExec, ScriptedUnsatVerdict) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string script =
+        write_script("fake_unsat.sh", "echo 's UNSATISFIABLE'\n");
+    EXPECT_EQ(solve_via(script, cnf), Result::kUnsat);
+}
+
+TEST(DimacsExec, GarbageOutputYieldsUnknown) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string garbage =
+        write_script("fake_garbage.sh", "echo 'hello world'\n");
+    EXPECT_EQ(solve_via(garbage, cnf), Result::kUnknown);
+}
+
+TEST(DimacsExec, MissingBinaryFailsAtCreation) {
+    // A typo'd solver command must fail fast with a Status, not one
+    // silent kUnknown per solve.
+    for (const char* cmd :
+         {"/no/such/solver/binary", "no-such-solver-on-path -q"}) {
+        const auto r = BackendRegistry::global().create(
+            SolverSpec{std::string("dimacs-exec:") + cmd});
+        ASSERT_FALSE(r.ok()) << cmd;
+        EXPECT_EQ(r.status().code(),
+                  ::bosphorus::StatusCode::kInvalidArgument)
+            << cmd;
+    }
+}
+
+TEST(DimacsExec, TimeoutKillsTheChild) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string sleeper = write_script(
+        "fake_sleep.sh", "sleep 600\necho 's SATISFIABLE'\necho 'v 1 0'\n");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(solve_via(sleeper, cnf, /*timeout_s=*/0.3), Result::kUnknown);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(waited, 30.0) << "the sleeping child must be killed, not waited";
+}
+
+TEST(DimacsExec, InterruptKillsTheChildFromAnotherThread) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string sleeper =
+        write_script("fake_sleep2.sh", "sleep 600\necho 's SATISFIABLE'\n");
+    auto backend = BackendRegistry::global().create(
+        SolverSpec{"dimacs-exec:" + sleeper});
+    ASSERT_TRUE(backend.ok());
+    SolverBackend& b = **backend;
+    ASSERT_TRUE(b.load(cnf));
+
+    std::thread stopper([&b] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        b.interrupt();
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(b.solve(-1, /*timeout_s=*/600.0), Result::kUnknown);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stopper.join();
+    EXPECT_LT(waited, 30.0) << "interrupt must kill the child promptly";
+    // Sticky, then recoverable.
+    EXPECT_EQ(b.solve(-1, 1.0), Result::kUnknown);
+    b.clear_interrupt();
+}
+
+// ---- the real thing: this binary as the external solver --------------------
+
+class DimacsExecRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimacsExecRandom, SubprocessVerdictsMatchBruteForce) {
+    Rng rng(GetParam() + 500);
+    const size_t nv = 4 + rng.below(6);
+    const Cnf cnf = cnfgen::random_ksat(nv, nv * 4 + rng.below(nv), 3, rng);
+    const bool expect_sat = !cnf_models(cnf).empty();
+
+    std::vector<LBool> model;
+    const Result r = solve_via(self_solver_command(), cnf, 60.0, &model);
+    EXPECT_EQ(r, expect_sat ? Result::kSat : Result::kUnsat);
+    if (r == Result::kSat) EXPECT_TRUE(model_satisfies(cnf, model));
+}
+
+TEST_P(DimacsExecRandom, XorInstancesThroughTheSubprocess) {
+    Rng rng(GetParam() + 900);
+    const size_t len = 6 + rng.below(8);
+    const bool satisfiable = rng.coin();
+    const Cnf cnf = cnfgen::xor_cycle(len, satisfiable, rng);
+    // XORs are expanded to plain clauses in the written DIMACS.
+    EXPECT_EQ(solve_via(self_solver_command(), cnf, 60.0),
+              satisfiable ? Result::kSat : Result::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DimacsExecRandom, ::testing::Range(0, 10));
+
+TEST(DimacsExec, AssumptionsDegradeToColdSolvesWithCorrectVerdicts) {
+    // x1 ^ x2 (as clauses): assuming both true must be UNSAT, and the
+    // failed call must not poison the next one.
+    Cnf cnf;
+    cnf.num_vars = 2;
+    cnf.add_clause({mk_lit(0, false), mk_lit(1, false)});
+    cnf.add_clause({mk_lit(0, true), mk_lit(1, true)});
+
+    auto backend = BackendRegistry::global().create(
+        SolverSpec{"dimacs-exec:" + self_solver_command()});
+    ASSERT_TRUE(backend.ok());
+    SolverBackend& b = **backend;
+    EXPECT_FALSE(b.supports_assumptions()) << "degraded by design";
+    ASSERT_TRUE(b.load(cnf));
+
+    b.assume(mk_lit(0, false));
+    b.assume(mk_lit(1, false));
+    EXPECT_EQ(b.solve(-1, 60.0), Result::kUnsat);
+    EXPECT_TRUE(b.okay()) << "UNSAT under assumptions is not outright UNSAT";
+    EXPECT_TRUE(b.failed(mk_lit(0, false)))
+        << "degraded backends blame every assumption";
+
+    b.assume(mk_lit(0, false));
+    EXPECT_EQ(b.solve(-1, 60.0), Result::kSat);
+    EXPECT_EQ(b.value(0), LBool::kTrue);
+    EXPECT_EQ(b.value(1), LBool::kFalse);
+    EXPECT_EQ(b.solve(-1, 60.0), Result::kSat) << "assumptions were cleared";
+}
+
+/// The whole stack at once: bosphorus::solve() with the external solver
+/// as its Table II back end.
+TEST(DimacsExec, FacadeSolvesThroughTheExternalBackend) {
+    Rng rng(123);
+    const Cnf cnf = cnfgen::random_ksat(8, 30, 3, rng);
+    const bool expect_sat = !cnf_models(cnf).empty();
+
+    SolveConfig cfg;
+    cfg.solver = "dimacs-exec:" + self_solver_command();
+    const auto out = solve(Problem::from_cnf(cnf), cfg);
+    ASSERT_TRUE(out.ok()) << out.status().to_string();
+    EXPECT_EQ(out->result,
+              expect_sat ? sat::Result::kSat : sat::Result::kUnsat);
+    if (out->result == sat::Result::kSat) EXPECT_TRUE(out->model_verified);
+}
+
+/// The in-loop SAT technique driving an external process per step.
+TEST(DimacsExec, EngineLoopRunsOverTheExternalBackend) {
+    Rng rng(321);
+    const Cnf cnf = cnfgen::random_ksat(7, 26, 3, rng);
+    const bool expect_sat = !cnf_models(cnf).empty();
+
+    EngineConfig cfg;
+    cfg.use_xl = false;
+    cfg.use_elimlin = false;  // the external step must decide on its own
+    cfg.sat_backend = "dimacs-exec:" + self_solver_command();
+    Engine engine(cfg);
+    const auto rep = engine.run(Problem::from_cnf(cnf));
+    ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+    EXPECT_EQ(rep->verdict,
+              expect_sat ? sat::Result::kSat : sat::Result::kUnsat);
+}
+
+}  // namespace
+}  // namespace bosphorus::sat
+
+/// Solver mode: read the DIMACS file named by argv[2], solve it with the
+/// in-tree CDCL solver, print SAT-competition-conformant output, exit
+/// 10/20/0. This is what "--dimacs-solver" subprocesses run.
+static int run_as_dimacs_solver(const char* path) {
+    using namespace bosphorus::sat;
+    std::ifstream in(path);
+    if (!in) {
+        std::printf("c cannot open %s\n", path);
+        return 1;
+    }
+    const auto cnf = try_read_dimacs(in);
+    if (!cnf.ok()) {
+        std::printf("c parse error\n");
+        return 1;
+    }
+    Solver solver;
+    if (!solver.load(*cnf)) {
+        std::printf("s UNSATISFIABLE\n");
+        return 20;
+    }
+    const Result r = solver.solve();
+    if (r == Result::kUnsat) {
+        std::printf("s UNSATISFIABLE\n");
+        return 20;
+    }
+    if (r == Result::kSat) {
+        std::printf("s SATISFIABLE\nv");
+        for (Var v = 0; v < cnf->num_vars; ++v) {
+            const bool val = solver.model()[v] == LBool::kTrue;
+            std::printf(" %s%u", val ? "" : "-", v + 1);
+        }
+        std::printf(" 0\n");
+        return 10;
+    }
+    std::printf("s UNKNOWN\n");
+    return 0;
+}
+
+/// Custom main: dispatch the hidden solver mode before gtest parses
+/// flags (defining main here shadows gtest_main's; the linker only pulls
+/// that object when main is otherwise undefined).
+int main(int argc, char** argv) {
+    if (argc >= 3 && std::string(argv[1]) == "--dimacs-solver")
+        return run_as_dimacs_solver(argv[2]);
+    bosphorus::sat::g_self = argv[0];
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
+
+#else  // !BOSPHORUS_EXEC_TESTS
+
+TEST(DimacsExec, SkippedOnThisPlatform) { GTEST_SKIP(); }
+
+#endif

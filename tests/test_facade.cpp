@@ -381,5 +381,29 @@ TEST(Solve, UnknownSolverNameIsInvalidArgument) {
     EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(Par2Score, SolvedUnsolvedMixAndEmptySet) {
+    EXPECT_DOUBLE_EQ(par2_score({}, 1000.0), 0.0);
+
+    SolveOutcome sat_fast;
+    sat_fast.result = sat::Result::kSat;
+    sat_fast.seconds = 12.5;
+    SolveOutcome unsat_slow;
+    unsat_slow.result = sat::Result::kUnsat;
+    unsat_slow.seconds = 300.0;
+    SolveOutcome unsolved;
+    unsolved.result = sat::Result::kUnknown;
+    unsolved.seconds = 999.0;  // runtime of unsolved instances is ignored
+
+    // Solved instances contribute their runtime; unsolved ones 2x the
+    // timeout, regardless of how long they actually ran.
+    EXPECT_DOUBLE_EQ(par2_score({sat_fast}, 1000.0), 12.5);
+    EXPECT_DOUBLE_EQ(par2_score({unsolved}, 1000.0), 2000.0);
+    EXPECT_DOUBLE_EQ(par2_score({sat_fast, unsat_slow, unsolved}, 500.0),
+                     12.5 + 300.0 + 2.0 * 500.0);
+    // Lower is better: a fully-solved set beats one with a timeout.
+    EXPECT_LT(par2_score({sat_fast, unsat_slow}, 500.0),
+              par2_score({sat_fast, unsolved}, 500.0));
+}
+
 }  // namespace
 }  // namespace bosphorus

@@ -242,7 +242,7 @@ TEST_P(SolverRandom, AllKindsAgree) {
     for (const SolverKind kind :
          {SolverKind::kMinisatLike, SolverKind::kLingelingLike,
           SolverKind::kCmsLike}) {
-        const SolveOutcome out = solve_cnf(cnf, kind);
+        const CnfSolveOutcome out = solve_cnf(cnf, kind);
         EXPECT_EQ(out.result, expect_sat ? Result::kSat : Result::kUnsat)
             << solver_kind_name(kind);
         if (out.result == Result::kSat) {
@@ -260,7 +260,7 @@ TEST_P(SolverRandom, XorRichInstancesAllKinds) {
     for (const SolverKind kind :
          {SolverKind::kMinisatLike, SolverKind::kLingelingLike,
           SolverKind::kCmsLike}) {
-        const SolveOutcome out = solve_cnf(cnf, kind);
+        const CnfSolveOutcome out = solve_cnf(cnf, kind);
         EXPECT_EQ(out.result,
                   satisfiable ? Result::kSat : Result::kUnsat)
             << solver_kind_name(kind) << " len=" << len;
@@ -342,6 +342,86 @@ TEST(RecoverXors, BinaryEquivalence) {
     const auto xors = recover_xors(cnf);
     ASSERT_EQ(xors.size(), 1u);
     EXPECT_FALSE(xors[0].rhs);
+}
+
+/// Encode vars ^ ... = rhs as its full 2^(l-1) clause group.
+void encode_xor(Cnf& cnf, const std::vector<Var>& vars, bool rhs) {
+    const size_t l = vars.size();
+    for (uint32_t bits = 0; bits < (1u << l); ++bits) {
+        bool parity = false;
+        for (size_t i = 0; i < l; ++i) parity ^= (bits >> i) & 1;
+        if (parity == rhs) continue;  // satisfying assignment, allowed
+        std::vector<Lit> clause;
+        for (size_t i = 0; i < l; ++i)
+            clause.push_back(mk_lit(vars[i], ((bits >> i) & 1) != 0));
+        cnf.add_clause(std::move(clause));
+    }
+}
+
+TEST(RecoverXors, MaxLenBoundaryIsInclusive) {
+    // Size-2 (the lower bound) and size-max_len groups are recovered;
+    // a size-(max_len + 1) group is not scanned at all.
+    for (const size_t max_len : {3u, 4u, 5u}) {
+        Cnf cnf;
+        cnf.num_vars = 2 + max_len + (max_len + 1);
+        encode_xor(cnf, {0, 1}, true);                      // size 2
+        std::vector<Var> at_limit, beyond;
+        for (size_t i = 0; i < max_len; ++i)
+            at_limit.push_back(static_cast<Var>(2 + i));
+        for (size_t i = 0; i < max_len + 1; ++i)
+            beyond.push_back(static_cast<Var>(2 + max_len + i));
+        encode_xor(cnf, at_limit, false);                   // size max_len
+        encode_xor(cnf, beyond, true);                      // one too long
+        const auto xors = recover_xors(cnf, max_len);
+        ASSERT_EQ(xors.size(), 2u) << "max_len=" << max_len;
+        EXPECT_EQ(xors[0].vars, (std::vector<Var>{0, 1}));
+        EXPECT_TRUE(xors[0].rhs);
+        EXPECT_EQ(xors[1].vars, at_limit);
+        EXPECT_FALSE(xors[1].rhs);
+    }
+}
+
+TEST(RecoverXors, DuplicateClausesInAGroupDoNotFakeAFullSet) {
+    // 3 of the 4 clauses of a ^ b ^ c = 1, one of them repeated: the
+    // group reaches the 2^(l-1) clause *count* but only 3 distinct sign
+    // patterns -- no XOR may be recovered.
+    Cnf cnf;
+    cnf.num_vars = 3;
+    cnf.add_clause({pos(0), pos(1), pos(2)});
+    cnf.add_clause({neg(0), neg(1), pos(2)});
+    cnf.add_clause({neg(0), pos(1), neg(2)});
+    cnf.add_clause({neg(0), pos(1), neg(2)});  // duplicate
+    EXPECT_TRUE(recover_xors(cnf).empty());
+
+    // With the genuine fourth pattern added, recovery works even though
+    // the duplicate is still present.
+    cnf.add_clause({pos(0), neg(1), neg(2)});
+    const auto xors = recover_xors(cnf);
+    ASSERT_EQ(xors.size(), 1u);
+    EXPECT_EQ(xors[0].vars, (std::vector<Var>{0, 1, 2}));
+    EXPECT_TRUE(xors[0].rhs);
+}
+
+TEST(RecoverXors, OneClauseShortOfAFullGroupIsNotRecovered) {
+    // All but one of the 8 clauses of a 4-variable XOR: no recovery.
+    Cnf cnf;
+    cnf.num_vars = 4;
+    encode_xor(cnf, {0, 1, 2, 3}, true);
+    ASSERT_EQ(cnf.clauses.size(), 8u);
+    cnf.clauses.pop_back();
+    EXPECT_TRUE(recover_xors(cnf).empty());
+}
+
+TEST(RecoverXors, BothPolaritiesOverOneVariableSet) {
+    // a ^ b = 0 and a ^ b = 1 together (UNSAT, but recovery is purely
+    // syntactic): both XORs are found over the same variable set.
+    Cnf cnf;
+    cnf.num_vars = 2;
+    encode_xor(cnf, {0, 1}, false);
+    encode_xor(cnf, {0, 1}, true);
+    const auto xors = recover_xors(cnf);
+    ASSERT_EQ(xors.size(), 2u);
+    EXPECT_NE(xors[0].rhs, xors[1].rhs);
 }
 
 // ---- DIMACS ---------------------------------------------------------------

@@ -145,6 +145,52 @@ TEST(Session, SolveAfterUnsatAtScopeRecoversOnPop) {
     EXPECT_EQ(sat_again->solution, expected);
 }
 
+/// Satellite regression for the SAT back-end redesign: the warm-solve
+/// path now reaches the live solver through the SolverBackend interface
+/// (assume/solve/failed). Failed assumptions must not poison later warm
+/// solves, for the built-in native in-loop solver AND for every named
+/// built-in backend routed through the interface -- mirroring the
+/// solve_assuming guarantee the native path always had.
+TEST(Session, FailedAssumptionsThroughBackendsDoNotPoisonWarmSolves) {
+    for (const std::string backend : {"", "minisat", "cms", "lingeling"}) {
+        EngineConfig cfg = small_config();
+        cfg.sat_backend = backend;
+        // Make the in-loop SAT step the only decision maker, so the warm
+        // solver (native or backend) is what every solve exercises.
+        cfg.use_xl = false;
+        cfg.use_elimlin = false;
+        Session session(paper_example(), cfg);
+
+        // Warm-up solve: SAT, establishing the live solver.
+        const auto first = session.solve();
+        ASSERT_TRUE(first.ok()) << "'" << backend << "'";
+        EXPECT_EQ(first->verdict, sat::Result::kSat) << "'" << backend << "'";
+
+        // A scope whose assumption the base refutes (x5 = 1): the live
+        // solver sees it as a failed assumption, not a new clause.
+        ASSERT_TRUE(session.push().ok());
+        ASSERT_TRUE(session.assume(4, true).ok());
+        const auto unsat = session.solve();
+        ASSERT_TRUE(unsat.ok()) << "'" << backend << "'";
+        EXPECT_EQ(unsat->verdict, sat::Result::kUnsat)
+            << "'" << backend << "'";
+        ASSERT_TRUE(session.pop().ok());
+
+        // The failed assumption must leave no trace: the same Session
+        // keeps producing the unique model, warm, repeatedly.
+        for (int round = 0; round < 2; ++round) {
+            const auto again = session.solve();
+            ASSERT_TRUE(again.ok()) << "'" << backend << "'";
+            EXPECT_EQ(again->verdict, sat::Result::kSat)
+                << "'" << backend << "' round " << round;
+            const std::vector<bool> expected = {true, true, true, true,
+                                                false};
+            EXPECT_EQ(again->solution, expected) << "'" << backend << "'";
+        }
+        EXPECT_EQ(session.solve_count(), 4u);
+    }
+}
+
 TEST(Session, PushPopRoundTripRestoresSystemExactly) {
     Session session(paper_example(), small_config());
     const auto before = session.solve();
