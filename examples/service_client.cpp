@@ -1,0 +1,299 @@
+// A client for the bosphorusd solve daemon, speaking the newline
+// protocol of src/service/protocol.h over a Unix socket.
+//
+//   $ ./service_client SOCKET demo          # the full smoke choreography
+//   $ ./service_client SOCKET solve FILE    # one-shot ANF/CNF solve
+//   $ ./service_client SOCKET metrics       # dump the METRICS block
+//   $ ./service_client SOCKET shutdown      # stop the daemon
+//
+// `demo` is what the CI service-smoke job runs: against a single daemon
+// it exercises one-shot submits, a warm session sweep, admission
+// rejection, cancellation, deadline expiry and the metrics endpoint, and
+// exits non-zero on any unexpected response -- so it doubles as an
+// end-to-end assertion that daemon verdicts match direct library calls.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// A blocking line-oriented connection to the daemon.
+class Connection {
+public:
+    explicit Connection(const std::string& path) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) return;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~Connection() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    bool send(const std::string& text) {
+        size_t off = 0;
+        while (off < text.size()) {
+            const ssize_t n =
+                ::write(fd_, text.data() + off, text.size() - off);
+            if (n <= 0) return false;
+            off += size_t(n);
+        }
+        return true;
+    }
+
+    bool recv_line(std::string& out) {
+        out.clear();
+        for (;;) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                out = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n <= 0) return false;
+            buf_.append(chunk, size_t(n));
+        }
+    }
+
+    /// Send one request and read the single-line response.
+    bool roundtrip(const std::string& request, std::string& response) {
+        return send(request + "\n") && recv_line(response);
+    }
+
+private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+int fail(const char* what, const std::string& got) {
+    std::fprintf(stderr, "service_client: %s (got '%s')\n", what, got.c_str());
+    return 1;
+}
+
+/// Extract the job id from an "OK JOB <id>" response (0 on mismatch).
+uint64_t job_id(const std::string& response) {
+    if (!starts_with(response, "OK JOB ")) return 0;
+    return std::strtoull(response.c_str() + 7, nullptr, 10);
+}
+
+/// A tiny ANF instance with the unique solution x1=x2=x3=1: over GF(2),
+/// x1*x2 + 1 = 0 forces x1 = x2 = 1, and x2*x3 + 1 = 0 then forces
+/// x3 = 1. Used all over the demo.
+const char* kTinyAnf = "x1*x2 + 1\nx2*x3 + 1\n";
+const int kTinyAnfLines = 2;
+
+/// An UNSAT CNF: x1, and (not x1).
+const char* kUnsatCnf = "p cnf 1 2\n1 0\n-1 0\n";
+const int kUnsatCnfLines = 3;
+
+int run_demo(const std::string& socket_path) {
+    Connection conn(socket_path);
+    if (!conn.ok()) {
+        std::fprintf(stderr, "service_client: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string resp;
+
+    // 1. Handshake.
+    if (!conn.roundtrip("HELLO", resp) || !starts_with(resp, "OK bosphorusd"))
+        return fail("HELLO failed", resp);
+    std::printf("connected: %s\n", resp.c_str());
+
+    // 2. One-shot SAT submit; the verdict must be sat with the known model.
+    conn.send(std::string("SUBMIT me anf 5 - ") +
+              std::to_string(kTinyAnfLines) + "\n" + kTinyAnf);
+    if (!conn.recv_line(resp)) return fail("SUBMIT lost connection", resp);
+    const uint64_t sat_job = job_id(resp);
+    if (sat_job == 0) return fail("SUBMIT rejected", resp);
+
+    // 3. One-shot UNSAT submit on another connection-independent job.
+    conn.send(std::string("SUBMIT me cnf 5 - ") +
+              std::to_string(kUnsatCnfLines) + "\n" + kUnsatCnf);
+    if (!conn.recv_line(resp)) return fail("SUBMIT lost connection", resp);
+    const uint64_t unsat_job = job_id(resp);
+    if (unsat_job == 0) return fail("UNSAT SUBMIT rejected", resp);
+
+    if (!conn.roundtrip("RESULT " + std::to_string(sat_job), resp) ||
+        resp.find(" done sat ") == std::string::npos ||
+        resp.find(" 111") == std::string::npos)
+        return fail("expected done sat with model 111", resp);
+    std::printf("one-shot sat: %s\n", resp.c_str());
+
+    if (!conn.roundtrip("RESULT " + std::to_string(unsat_job), resp) ||
+        resp.find(" done unsat ") == std::string::npos)
+        return fail("expected done unsat", resp);
+    std::printf("one-shot unsat: %s\n", resp.c_str());
+
+    // 4. Warm sweep: open a session and probe both polarities of x1.
+    //    x1=1 is consistent (unique model 111), x1=0 is not.
+    conn.send(std::string("SESSION OPEN me sweep anf ") +
+              std::to_string(kTinyAnfLines) + "\n" + kTinyAnf);
+    if (!conn.recv_line(resp) || resp != "OK")
+        return fail("SESSION OPEN failed", resp);
+    if (!conn.roundtrip("ASSUME me sweep 5 1", resp))
+        return fail("ASSUME lost connection", resp);
+    const uint64_t sweep_sat = job_id(resp);
+    if (sweep_sat == 0) return fail("ASSUME x1=1 rejected", resp);
+    if (!conn.roundtrip("ASSUME me sweep 5 -1", resp))
+        return fail("ASSUME lost connection", resp);
+    const uint64_t sweep_unsat = job_id(resp);
+    if (sweep_unsat == 0) return fail("ASSUME x1=0 rejected", resp);
+
+    if (!conn.roundtrip("RESULT " + std::to_string(sweep_sat), resp) ||
+        resp.find(" done sat ") == std::string::npos)
+        return fail("sweep x1=1 should be sat", resp);
+    std::printf("sweep sat:    %s\n", resp.c_str());
+    if (!conn.roundtrip("RESULT " + std::to_string(sweep_unsat), resp) ||
+        resp.find(" done unsat ") == std::string::npos)
+        return fail("sweep x1=0 should be unsat", resp);
+    std::printf("sweep unsat:  %s\n", resp.c_str());
+    if (!conn.roundtrip("SESSION CLOSE me sweep", resp) || resp != "OK")
+        return fail("SESSION CLOSE failed", resp);
+
+    // 5. Cancellation: cancel a job and accept whichever terminal state
+    //    the race produced (cancelled if we won, done if the solver did).
+    conn.send(std::string("SUBMIT me anf 30 - ") +
+              std::to_string(kTinyAnfLines) + "\n" + kTinyAnf);
+    if (!conn.recv_line(resp)) return fail("SUBMIT lost connection", resp);
+    const uint64_t cancel_job = job_id(resp);
+    if (cancel_job == 0) return fail("cancel-target SUBMIT rejected", resp);
+    if (!conn.roundtrip("CANCEL " + std::to_string(cancel_job), resp) ||
+        resp != "OK")
+        return fail("CANCEL failed", resp);
+    if (!conn.roundtrip("RESULT " + std::to_string(cancel_job), resp) ||
+        (resp.find(" cancelled ") == std::string::npos &&
+         resp.find(" done ") == std::string::npos))
+        return fail("cancelled job never terminal", resp);
+    std::printf("cancel:       %s\n", resp.c_str());
+
+    // 6. Bad input is a structured error, not a dead connection.
+    conn.send("SUBMIT me anf 5 - 1\nthis is not a polynomial\n");
+    if (!conn.recv_line(resp) || !starts_with(resp, "ERR PARSE_ERROR"))
+        return fail("expected ERR PARSE_ERROR", resp);
+    std::printf("parse error:  %s\n", resp.c_str());
+    if (!conn.roundtrip("RESULT 999999", resp) ||
+        !starts_with(resp, "ERR INVALID_ARGUMENT"))
+        return fail("expected ERR INVALID_ARGUMENT for unknown job", resp);
+
+    // 7. Metrics: the counters must reflect what this demo just did.
+    if (!conn.roundtrip("METRICS", resp) || !starts_with(resp, "OK METRICS "))
+        return fail("METRICS failed", resp);
+    const int n_metrics = std::atoi(resp.c_str() + 11);
+    bool saw_accepted = false;
+    bool saw_store = false;
+    for (int i = 0; i < n_metrics; ++i) {
+        std::string line;
+        if (!conn.recv_line(line)) return fail("METRICS truncated", line);
+        std::printf("  %s\n", line.c_str());
+        if (starts_with(line, "jobs_accepted ") &&
+            std::atoi(line.c_str() + 14) >= 5)
+            saw_accepted = true;
+        if (starts_with(line, "store_entries ") &&
+            std::atoi(line.c_str() + 14) > 0)
+            saw_store = true;
+    }
+    if (!saw_accepted || !saw_store)
+        return fail("metrics block missing expected counters", resp);
+
+    std::printf("demo: all checks passed\n");
+    return 0;
+}
+
+int run_solve(const std::string& socket_path, const std::string& file) {
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "service_client: cannot read %s\n", file.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const size_t n_lines =
+        size_t(std::count(text.begin(), text.end(), '\n')) +
+        (text.empty() || text.back() == '\n' ? 0 : 1);
+    const bool is_cnf = file.size() > 4 &&
+                        file.compare(file.size() - 4, 4, ".cnf") == 0;
+
+    Connection conn(socket_path);
+    if (!conn.ok()) {
+        std::fprintf(stderr, "service_client: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string resp;
+    conn.send(std::string("SUBMIT cli ") + (is_cnf ? "cnf" : "anf") + " - - " +
+              std::to_string(n_lines) + "\n" + text +
+              (text.empty() || text.back() == '\n' ? "" : "\n"));
+    if (!conn.recv_line(resp)) return fail("SUBMIT lost connection", resp);
+    const uint64_t id = job_id(resp);
+    if (id == 0) return fail("SUBMIT rejected", resp);
+    if (!conn.roundtrip("RESULT " + std::to_string(id), resp))
+        return fail("RESULT lost connection", resp);
+    std::printf("%s\n", resp.c_str());
+    return starts_with(resp, "OK RESULT ") ? 0 : 1;
+}
+
+int run_verb(const std::string& socket_path, const std::string& verb) {
+    Connection conn(socket_path);
+    if (!conn.ok()) {
+        std::fprintf(stderr, "service_client: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string resp;
+    if (!conn.roundtrip(verb, resp)) return fail("request failed", resp);
+    std::printf("%s\n", resp.c_str());
+    if (starts_with(resp, "OK METRICS ")) {
+        const int n = std::atoi(resp.c_str() + 11);
+        for (int i = 0; i < n; ++i) {
+            std::string line;
+            if (!conn.recv_line(line)) return 1;
+            std::printf("%s\n", line.c_str());
+        }
+    }
+    return starts_with(resp, "OK") ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: service_client SOCKET demo|metrics|shutdown\n"
+                     "       service_client SOCKET solve FILE\n");
+        return 2;
+    }
+    const std::string socket_path = argv[1];
+    const std::string mode = argv[2];
+    if (mode == "demo") return run_demo(socket_path);
+    if (mode == "solve" && argc > 3) return run_solve(socket_path, argv[3]);
+    if (mode == "metrics") return run_verb(socket_path, "METRICS");
+    if (mode == "shutdown") return run_verb(socket_path, "SHUTDOWN");
+    std::fprintf(stderr, "service_client: unknown mode '%s'\n", mode.c_str());
+    return 2;
+}

@@ -26,6 +26,7 @@
 #include "bosphorus/engine.h"      // IWYU pragma: export
 #include "bosphorus/problem.h"     // IWYU pragma: export
 #include "bosphorus/sat_backend.h" // IWYU pragma: export
+#include "bosphorus/service.h"     // IWYU pragma: export
 #include "bosphorus/session.h"     // IWYU pragma: export
 #include "bosphorus/solve.h"       // IWYU pragma: export
 #include "bosphorus/status.h"      // IWYU pragma: export
@@ -34,7 +35,7 @@
 /// Library major version; bumped on breaking public-API changes.
 #define BOSPHORUS_VERSION_MAJOR 0
 /// Library minor version; bumped per feature release (one per PR train).
-#define BOSPHORUS_VERSION_MINOR 4
+#define BOSPHORUS_VERSION_MINOR 5
 
 namespace bosphorus {
 

@@ -217,6 +217,9 @@ public:
         const SolverSpec& spec) const;
 
     /// All registered backends, in registration order (built-ins first).
+    /// The returned vector is an atomic snapshot taken under the registry
+    /// lock: a listing racing register_backend() sees either all of a
+    /// registration or none of it, never a partially-updated table.
     std::vector<BackendInfo> list() const;
 
     /// True iff a backend named `name` is registered.

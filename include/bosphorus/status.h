@@ -27,6 +27,7 @@ enum class StatusCode {
     kIoError,          ///< file could not be opened / read / written
     kInterrupted,      ///< the interrupt callback asked the engine to stop
     kTimeout,          ///< a time budget expired before completion
+    kUnavailable,      ///< a capacity bound rejected the request (retry later)
     kUnimplemented,    ///< the requested feature is not available
     kInternal,         ///< invariant violation inside the library
 };
@@ -69,6 +70,10 @@ public:
     /// Shorthand for error(StatusCode::kTimeout, m).
     static Status timeout(std::string m) {
         return error(StatusCode::kTimeout, std::move(m));
+    }
+    /// Shorthand for error(StatusCode::kUnavailable, m).
+    static Status unavailable(std::string m) {
+        return error(StatusCode::kUnavailable, std::move(m));
     }
     /// Shorthand for error(StatusCode::kInternal, m).
     static Status internal(std::string m) {

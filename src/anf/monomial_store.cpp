@@ -71,6 +71,7 @@ MonoId MonomialStore::intern_sorted_locked(const Var* vars, uint32_t n) {
             const size_t chunk = std::max<size_t>(kArenaChunk, n);
             arena_.push_back(std::make_unique<Var[]>(chunk));
             arena_used_ = 0;
+            arena_bytes_ += chunk * sizeof(Var);
         }
         Var* dst = arena_.back().get() + arena_used_;
         std::copy(vars, vars + n, dst);
@@ -188,6 +189,19 @@ MonoId MonomialStore::without(MonoId id, Var v) {
     }
     return intern_sorted_locked(scratch_.data(),
                                 static_cast<uint32_t>(scratch_.size()));
+}
+
+MonomialStore::Stats MonomialStore::stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    Stats s;
+    s.entries = count_.load(std::memory_order_relaxed);
+    s.arena_bytes = arena_bytes_;
+    const uint32_t blocks = (s.entries + kBlockSize - 1) >> kBlockBits;
+    s.entry_bytes = size_t{blocks} * kBlockSize * sizeof(Entry);
+    s.mul_memo_entries = mul_memo_.size();
+    s.mul_memo_hits = memo_hits_.load(std::memory_order_relaxed);
+    s.mul_memo_misses = memo_misses_.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::shared_ptr<const std::vector<uint32_t>> MonomialStore::ranks() {

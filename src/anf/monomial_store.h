@@ -168,6 +168,26 @@ public:
     size_t mul_memo_hits() const { return memo_hits_.load(std::memory_order_relaxed); }
     size_t mul_memo_misses() const { return memo_misses_.load(std::memory_order_relaxed); }
 
+    /// One consistent occupancy snapshot, taken under the store mutex --
+    /// the accessor METRICS endpoints and bench tools read instead of
+    /// guessing from size() alone. Caveat: the store is APPEND-ONLY for
+    /// its whole lifetime (see the id invariants above), so every counter
+    /// here is monotone non-decreasing; a long-lived process serving many
+    /// tenants shares one growing vocabulary and reclaims nothing --
+    /// `entries`/`arena_bytes` measure that growth, `mul_memo_entries` is
+    /// the only component with a hard cap (kMulMemoCap, reset-on-full).
+    struct Stats {
+        size_t entries = 0;           ///< distinct monomials interned
+        size_t arena_bytes = 0;       ///< variable-list arena, allocated
+        size_t entry_bytes = 0;       ///< entry blocks, allocated
+        size_t mul_memo_entries = 0;  ///< live products in the bounded memo
+        size_t mul_memo_hits = 0;     ///< memo + front-cache hits
+        size_t mul_memo_misses = 0;   ///< products computed the slow way
+    };
+    /// Thread-safe: may be called concurrently with interning from any
+    /// thread (it serialises briefly with writers on the store mutex).
+    Stats stats() const;
+
     /// The memo-table bound: past this many cached products the table is
     /// reset (bounded memory, monotone ids keep every entry valid forever
     /// otherwise).
@@ -208,6 +228,7 @@ private:
     static constexpr size_t kArenaChunk = 1u << 16;  // Vars per chunk
     std::vector<std::unique_ptr<Var[]>> arena_;
     size_t arena_used_ = kArenaChunk;  // forces a chunk on first intern
+    size_t arena_bytes_ = 0;           // total allocated, under mu_
 
     std::vector<Entry*> blocks_;          // size kMaxBlocks, lazily filled
     std::atomic<uint32_t> count_{0};      // published entry count

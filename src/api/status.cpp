@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
         case StatusCode::kIoError: return "IO_ERROR";
         case StatusCode::kInterrupted: return "INTERRUPTED";
         case StatusCode::kTimeout: return "TIMEOUT";
+        case StatusCode::kUnavailable: return "UNAVAILABLE";
         case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
         case StatusCode::kInternal: return "INTERNAL";
     }

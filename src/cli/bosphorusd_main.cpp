@@ -1,0 +1,179 @@
+// bosphorusd -- the multi-tenant solve daemon: a SolveService behind a
+// Unix-domain socket speaking the newline protocol of
+// src/service/protocol.h.
+//
+//   bosphorusd --socket /tmp/bosphorusd.sock [options]
+//
+// Drive it with examples/service_client.cpp, `nc -U`, or any client that
+// writes "VERB args\n" lines. SIGINT/SIGTERM (or a SHUTDOWN verb) stop it
+// cleanly: queued and running jobs are cancelled cooperatively, workers
+// drain, the socket is unlinked.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bosphorus/bosphorus.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace bosphorus;
+
+void usage() {
+    std::puts(
+        "bosphorusd: the Bosphorus solve service (DATE'19 reproduction)\n"
+        "\n"
+        "usage:\n"
+        "  bosphorusd --socket PATH [options]\n"
+        "\n"
+        "options:\n"
+        "  --socket PATH        Unix socket to listen on\n"
+        "                       (default /tmp/bosphorusd.sock)\n"
+        "  --workers N          worker threads (default: hardware\n"
+        "                       concurrency; explicit counts are honoured)\n"
+        "  --max-queue N        admission bound on waiting jobs (256)\n"
+        "  --max-sessions N     open sessions per client (8)\n"
+        "  --default-timeout S  per-job deadline when none given (30)\n"
+        "  --max-timeout S      hard cap on requested deadlines (0 = none)\n"
+        "  --loop-solver SPEC   default in-loop SAT back end (native)\n"
+        "  --timeout S          engine time budget per job (1000)\n"
+        "  --seed N             engine RNG seed (1)\n"
+        "  -v                   verbose engine logging\n"
+        "  --help               this text\n"
+        "\n"
+        "protocol (one request per line; see src/service/protocol.h):\n"
+        "  HELLO | SUBMIT | SESSION OPEN/CLOSE | ASSUME | STATUS |\n"
+        "  RESULT | CANCEL | METRICS | SHUTDOWN | QUIT");
+}
+
+bool parse_unsigned(const char* s, unsigned long& out) {
+    char* end = nullptr;
+    out = std::strtoul(s, &end, 10);
+    return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+    char* end = nullptr;
+    out = std::strtod(s, &end);
+    return end != s && *end == '\0' && out >= 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path = "/tmp/bosphorusd.sock";
+    ServiceConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        unsigned long n = 0;
+        double d = 0.0;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            const char* v = next();
+            if (!v) { usage(); return 2; }
+            socket_path = v;
+        } else if (arg == "--workers") {
+            const char* v = next();
+            if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
+            cfg.n_workers = static_cast<unsigned>(n);
+        } else if (arg == "--max-queue") {
+            const char* v = next();
+            if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
+            cfg.max_queued_jobs = n;
+        } else if (arg == "--max-sessions") {
+            const char* v = next();
+            if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
+            cfg.max_sessions_per_client = n;
+        } else if (arg == "--default-timeout") {
+            const char* v = next();
+            if (!v || !parse_double(v, d)) { usage(); return 2; }
+            cfg.default_timeout_s = d;
+        } else if (arg == "--max-timeout") {
+            const char* v = next();
+            if (!v || !parse_double(v, d)) { usage(); return 2; }
+            cfg.max_timeout_s = d;
+        } else if (arg == "--loop-solver") {
+            const char* v = next();
+            if (!v) { usage(); return 2; }
+            cfg.engine.sat_backend = v;
+        } else if (arg == "--timeout") {
+            const char* v = next();
+            if (!v || !parse_double(v, d)) { usage(); return 2; }
+            cfg.engine.time_budget_s = d;
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
+            cfg.engine.seed = n;
+        } else if (arg == "-v") {
+            ++cfg.engine.verbosity;
+        } else {
+            std::fprintf(stderr, "bosphorusd: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    // Deliver SIGINT/SIGTERM to a dedicated sigwait thread: signal
+    // handlers cannot take the locks request_stop() needs.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    SolveService svc(cfg);
+    service::SocketServer server(svc, socket_path);
+    const Status st = server.start();
+    if (!st.ok()) {
+        std::fprintf(stderr, "bosphorusd: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "bosphorusd %s listening on %s (%u workers, queue cap %zu)\n",
+                 version(), socket_path.c_str(), svc.config().n_workers,
+                 svc.config().max_queued_jobs);
+
+    std::atomic<bool> quit_signal_thread{false};
+    std::thread signal_thread([&sigs, &server, &quit_signal_thread] {
+        const timespec tick{0, 200'000'000};  // re-check the exit flag at 5 Hz
+        while (!quit_signal_thread.load(std::memory_order_acquire)) {
+            const int sig = sigtimedwait(&sigs, nullptr, &tick);
+            if (sig > 0) {
+                std::fprintf(stderr,
+                             "bosphorusd: caught signal %d, shutting down\n",
+                             sig);
+                server.request_stop();
+                return;
+            }
+        }
+    });
+
+    server.wait();
+    server.stop();
+    quit_signal_thread.store(true, std::memory_order_release);
+    signal_thread.join();
+
+    const ServiceStats stats = svc.stats();
+    std::fprintf(stderr,
+                 "bosphorusd: served %llu jobs (%llu done, %llu cancelled, "
+                 "%llu expired, %llu failed), %llu rejected; PAR-2 %.3f\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.cancelled),
+                 static_cast<unsigned long long>(stats.expired),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.rejected),
+                 stats.par2());
+    return 0;
+}

@@ -400,21 +400,23 @@ Status BackendRegistry::register_backend(BackendInfo info, Factory factory) {
     const SolverSpec& spec) const {
     const std::string name = spec.backend_name();
     Factory factory;
+    std::string known;
     {
+        // One critical section for the lookup AND the known-name snapshot:
+        // re-acquiring the lock to build the error message would let a
+        // concurrent register_backend() slip a name into "registered: ..."
+        // that this lookup never consulted (or hide one it did).
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto& [info, f] : entries_) {
             if (info.name == name) {
                 factory = f;
                 break;
             }
-        }
-    }
-    if (!factory) {
-        std::string known;
-        for (const auto& info : list()) {
             if (!known.empty()) known += ", ";
             known += info.name;
         }
+    }
+    if (!factory) {
         return Status::invalid_argument("unknown solver backend '" + name +
                                         "' (registered: " + known + ")");
     }
@@ -422,6 +424,10 @@ Status BackendRegistry::register_backend(BackendInfo info, Factory factory) {
 }
 
 std::vector<BackendInfo> BackendRegistry::list() const {
+    // An atomic snapshot: the whole table is copied under the registry
+    // lock, so a listing (e.g. --list-solvers) racing register_backend()
+    // observes either all of a registration or none of it, in
+    // registration order -- never a partially-updated table.
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<BackendInfo> out;
     out.reserve(entries_.size());

@@ -1,0 +1,93 @@
+// The bosphorusd wire protocol: newline-delimited request lines mapped
+// onto a SolveService. Deliberately socket-free -- the server
+// (src/service/server.h) and the tests both drive a ProtocolHandler with
+// plain strings, so every verb is unit-testable in process.
+//
+// Requests are space-separated tokens; SUBMIT and SESSION OPEN carry an
+// instance payload as a counted block of raw lines after the request
+// line. Responses are a single "OK ..." or "ERR <CODE> <message>" line,
+// except METRICS, whose "OK METRICS <n>" line is followed by n
+// "<key> <value>" lines.
+//
+//   HELLO
+//     -> OK bosphorusd <version>
+//   SUBMIT <client> anf|cnf <timeout_s|-> <solver|-> <nlines>
+//     <nlines> payload lines (ANF text / DIMACS)
+//     -> OK JOB <id>
+//   SESSION OPEN <client> <name> anf|cnf <nlines>  (+ payload)
+//     -> OK
+//   SESSION CLOSE <client> <name>
+//     -> OK
+//   ASSUME <client> <name> <timeout_s|-> <lit>...
+//     lits are 1-based signed DIMACS-style: 3 assumes x3 = 1, -3 = 0
+//     -> OK JOB <id>
+//   STATUS <id>
+//     -> OK STATUS <id> <state>
+//   RESULT <id> [<wait_s>]
+//     blocks until terminal (wait_s bounds the wait; default indefinite)
+//     -> OK RESULT <id> <state> <verdict> <queued_s> <run_s> <solution|->
+//        (for state=failed a trailing "<code>: <message>" field follows)
+//   CANCEL <id>
+//     -> OK
+//   METRICS
+//     -> OK METRICS <n>  (+ n "<key> <value>" lines)
+//   SHUTDOWN
+//     -> OK  (and the server stops accepting; existing connections close)
+//   QUIT
+//     -> OK  (closes this connection only)
+//
+// A client identity is fixed at the transport layer (the server assigns
+// one per connection via set_forced_client, so tenants cannot spoof each
+// other's lanes); the <client> token is then still required but ignored.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bosphorus/service.h"
+
+namespace bosphorus::service {
+
+/// What a handled request asks the transport to do next.
+enum class ProtocolAction {
+    kContinue,  ///< keep the connection open
+    kQuit,      ///< close this connection
+    kShutdown,  ///< stop the whole server (SHUTDOWN verb)
+};
+
+/// One connection's view of the protocol (stateless between requests
+/// apart from the forced client identity). Not thread-safe; one handler
+/// per connection.
+class ProtocolHandler {
+public:
+    /// Reads the next raw payload line into `out`; false at end-of-input.
+    using LineReader = std::function<bool(std::string& out)>;
+
+    explicit ProtocolHandler(SolveService& service) : service_(service) {}
+
+    /// Pin every request on this handler to one client lane, ignoring the
+    /// <client> token of SUBMIT/SESSION/ASSUME. The server sets this per
+    /// connection; empty (the default) trusts the request token.
+    void set_forced_client(std::string client) {
+        forced_client_ = std::move(client);
+        force_client_ = true;
+    }
+
+    /// Handle one request line. `read_line` supplies payload lines for
+    /// SUBMIT / SESSION OPEN; `response` receives the full response text
+    /// (one or more '\n'-terminated lines). Never throws; malformed input
+    /// becomes an ERR response.
+    ProtocolAction handle(const std::string& request,
+                          const LineReader& read_line, std::string& response);
+
+private:
+    std::string client_for(const std::string& token) const {
+        return force_client_ ? forced_client_ : token;
+    }
+
+    SolveService& service_;
+    std::string forced_client_;
+    bool force_client_ = false;
+};
+
+}  // namespace bosphorus::service

@@ -1,0 +1,577 @@
+// The multi-tenant solve service behind include/bosphorus/service.h.
+//
+// One mutex (`mu_`) guards the whole control plane: lanes, queues,
+// session slots, counters and job states. Workers run the data plane
+// (Engine/Session solves) outside the lock; every handoff of a Session
+// slot between workers goes through the lock, which is what makes the
+// single-threaded Session safe to pool -- the scheduler never dispatches
+// two jobs against one slot at a time, and the lock edge orders the
+// memory of consecutive owners.
+//
+// Scheduling: dispatch_locked() runs on every submit and every job
+// completion. It hands free worker slots to client lanes in round-robin
+// order; within a lane the scan is FIFO, skipping (in order) jobs whose
+// session slot is busy -- and, to preserve per-session submit order,
+// every *later* job on a session that was skipped in this scan.
+//
+// Deadlines: each job's cancellation token is linked with a steady-clock
+// deadline predicate. The engine polls it at technique iteration
+// boundaries and threads it into SAT backends as the terminate hook, so
+// expiry stops even a mid-solve external process cooperatively -- worker
+// threads are never killed.
+#include "bosphorus/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "bosphorus/sat_backend.h"
+#include "bosphorus/session.h"
+#include "runtime/cancellation.h"
+#include "runtime/thread_pool.h"
+#include "util/timer.h"
+
+namespace bosphorus {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_from_now(double timeout_s) {
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(timeout_s));
+}
+
+/// Metrics key of the in-loop backend a config routes the SAT step to.
+std::string backend_key(const EngineConfig& cfg) {
+    if (cfg.sat_backend.empty()) return "native";
+    return sat::SolverSpec(cfg.sat_backend).backend_name();
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+    switch (state) {
+        case JobState::kQueued: return "queued";
+        case JobState::kRunning: return "running";
+        case JobState::kDone: return "done";
+        case JobState::kCancelled: return "cancelled";
+        case JobState::kExpired: return "expired";
+        case JobState::kFailed: return "failed";
+    }
+    return "?";
+}
+
+struct SolveService::Impl {
+    /// One pooled warm session. `busy` hands exclusive slot access to a
+    /// single worker at a time (set/cleared under mu_); `session` itself
+    /// is only touched by the owning worker.
+    struct SessionSlot {
+        Problem base;
+        std::unique_ptr<Session> session;  // materialised by the first job
+        bool busy = false;
+    };
+
+    struct Job {
+        JobId id = 0;
+        std::string client;
+        // One-shot payload (slot == nullptr) or sweep payload.
+        Problem problem;
+        std::shared_ptr<SessionSlot> slot;
+        AssumptionSet assumptions;
+
+        EngineConfig cfg;  // resolved at submit (solver spec folded in)
+        double timeout_s = 0.0;
+
+        JobState state = JobState::kQueued;
+        runtime::CancellationSource cancel;
+        Status error;
+        Report report;
+        Timer since_submit;
+        double queued_s = 0.0;
+        double run_s = 0.0;
+    };
+
+    struct Lane {
+        std::deque<std::shared_ptr<Job>> queue;
+        std::map<std::string, std::shared_ptr<SessionSlot>> sessions;
+    };
+
+    explicit Impl(ServiceConfig cfg)
+        : cfg_(std::move(cfg)),
+          workers_(cfg_.n_workers == 0
+                       ? runtime::ThreadPool::default_thread_count()
+                       : cfg_.n_workers),
+          pool_(workers_) {
+        cfg_.n_workers = workers_;
+    }
+
+    // ---- control plane (all under mu_) -----------------------------------
+
+    Result<JobId> admit(std::shared_ptr<Job> job) {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stopping_)
+            return Status::unavailable("service is shutting down");
+        if (queued_ >= cfg_.max_queued_jobs) {
+            ++stats_rejected_;
+            return Status::unavailable(
+                "job queue full (" + std::to_string(queued_) + " queued, cap " +
+                std::to_string(cfg_.max_queued_jobs) + "); retry later");
+        }
+        Lane* lane = lane_for_locked(job->client);
+        if (lane == nullptr) {
+            ++stats_rejected_;
+            return Status::unavailable(
+                "client table full (cap " + std::to_string(cfg_.max_clients) +
+                " clients)");
+        }
+        job->id = next_id_++;
+        jobs_.emplace(job->id, job);
+        lane->queue.push_back(job);
+        ++queued_;
+        ++stats_accepted_;
+        dispatch_locked();
+        return job->id;
+    }
+
+    /// The lane for `client`, created on first use; nullptr when the
+    /// client table is at capacity.
+    Lane* lane_for_locked(const std::string& client) {
+        auto it = lanes_.find(client);
+        if (it != lanes_.end()) return &it->second;
+        if (lanes_.size() >= cfg_.max_clients) return nullptr;
+        rr_order_.push_back(client);
+        return &lanes_[client];
+    }
+
+    /// Hand free worker slots to lanes, round-robin. Requires mu_.
+    void dispatch_locked() {
+        if (stopping_) return;
+        while (running_ < workers_ && queued_ > 0) {
+            std::shared_ptr<Job> job = pick_next_locked();
+            if (!job) break;  // all queued work blocked on busy sessions
+            job->state = JobState::kRunning;
+            job->queued_s = job->since_submit.seconds();
+            if (job->slot) job->slot->busy = true;
+            --queued_;
+            ++running_;
+            pool_.submit([this, job] { run_job(std::move(job)); });
+        }
+    }
+
+    /// Next dispatchable job in round-robin lane order; also reaps
+    /// queue entries cancelled while waiting. Requires mu_.
+    std::shared_ptr<Job> pick_next_locked() {
+        const size_t n_lanes = rr_order_.size();
+        for (size_t k = 0; k < n_lanes; ++k) {
+            const size_t lane_idx = (rr_pos_ + k) % n_lanes;
+            Lane& lane = lanes_[rr_order_[lane_idx]];
+            // FIFO scan; sessions skipped once stay skipped so jobs on one
+            // session never overtake each other.
+            std::unordered_set<SessionSlot*> blocked;
+            for (size_t i = 0; i < lane.queue.size();) {
+                std::shared_ptr<Job>& j = lane.queue[i];
+                if (j->state != JobState::kQueued) {  // cancelled in place
+                    lane.queue.erase(lane.queue.begin() + i);
+                    continue;
+                }
+                SessionSlot* slot = j->slot.get();
+                if (slot && (slot->busy || blocked.count(slot))) {
+                    blocked.insert(slot);
+                    ++i;
+                    continue;
+                }
+                std::shared_ptr<Job> job = std::move(j);
+                lane.queue.erase(lane.queue.begin() + i);
+                rr_pos_ = (lane_idx + 1) % n_lanes;
+                return job;
+            }
+        }
+        return nullptr;
+    }
+
+    // ---- data plane (outside mu_) ----------------------------------------
+
+    void run_job(std::shared_ptr<Job> job) {
+        const Timer run_timer;
+        const Clock::time_point deadline = deadline_from_now(job->timeout_s);
+        const runtime::CancellationToken token =
+            runtime::CancellationToken::linked(
+                job->cancel.token(),
+                [deadline] { return Clock::now() >= deadline; });
+
+        Status error;
+        Report report;
+        bool failed = false;
+        if (!job->slot) {
+            EngineConfig cfg = job->cfg;
+            cfg.time_budget_s = std::min(cfg.time_budget_s, job->timeout_s);
+            Engine engine(cfg);
+            engine.set_cancellation_token(token);
+            Result<Report> res = engine.run(job->problem);
+            if (res.ok()) {
+                report = std::move(res).value();
+            } else {
+                failed = true;
+                error = res.status();
+            }
+        } else {
+            run_sweep_job(*job, token, report, error, failed);
+        }
+
+        std::unique_lock<std::mutex> lk(mu_);
+        job->run_s = run_timer.seconds();
+        job->report = std::move(report);
+        job->error = std::move(error);
+        job->state = classify_locked(*job, failed, deadline);
+        if (job->slot) job->slot->busy = false;
+        --running_;
+        account_locked(*job);
+        retain_locked(job->id);
+        dispatch_locked();
+        lk.unlock();
+        cv_.notify_all();
+    }
+
+    /// One push / assume* / solve / pop round trip on the job's warm
+    /// session, materialising it first if this is the slot's first job.
+    /// The scheduler guarantees exclusive slot access.
+    void run_sweep_job(Job& job, const runtime::CancellationToken& token,
+                       Report& report, Status& error, bool& failed) {
+        SessionSlot& slot = *job.slot;
+        if (!slot.session)
+            slot.session = std::make_unique<Session>(slot.base, job.cfg);
+        Session& session = *slot.session;
+        session.set_cancellation_token(token);
+
+        Status st = session.push();
+        for (const auto& [var, value] : job.assumptions) {
+            if (!st.ok()) break;
+            st = session.assume(var, value);
+        }
+        if (st.ok()) {
+            Result<Report> res = session.solve();
+            if (res.ok()) {
+                report = std::move(res).value();
+            } else {
+                failed = true;
+                error = res.status();
+            }
+        } else {
+            failed = true;
+            error = st;
+        }
+        session.pop();
+        session.set_cancellation_token({});
+    }
+
+    /// Terminal state of a finished run. Requires mu_ (serialises the
+    /// cancel-vs-expiry attribution against cancel()).
+    JobState classify_locked(const Job& job, bool failed,
+                             Clock::time_point deadline) const {
+        if (failed) return JobState::kFailed;
+        if (job.report.verdict != sat::Result::kUnknown) return JobState::kDone;
+        if (job.cancel.cancel_requested()) return JobState::kCancelled;
+        if (job.report.timed_out || Clock::now() >= deadline)
+            return JobState::kExpired;
+        return JobState::kDone;  // undecided fixed point within budget
+    }
+
+    /// Fold a terminal job into the counters. Requires mu_.
+    void account_locked(const Job& job) {
+        switch (job.state) {
+            case JobState::kDone: ++stats_completed_; break;
+            case JobState::kCancelled: ++stats_cancelled_; break;
+            case JobState::kExpired: ++stats_expired_; break;
+            case JobState::kFailed: ++stats_failed_; break;
+            default: break;
+        }
+        if (job.state == JobState::kDone || job.state == JobState::kExpired) {
+            const bool decided = job.report.verdict != sat::Result::kUnknown;
+            par2_sum_ += decided ? job.run_s : 2.0 * job.timeout_s;
+            ++par2_jobs_;
+        }
+        if (job.state != JobState::kFailed) {
+            BackendVerdicts& tally = backend_verdicts_[backend_key(job.cfg)];
+            if (job.report.verdict == sat::Result::kSat) ++tally.sat;
+            else if (job.report.verdict == sat::Result::kUnsat) ++tally.unsat;
+            else ++tally.unknown;
+        }
+    }
+
+    /// Keep the terminal-job table bounded. Requires mu_.
+    void retain_locked(JobId finished) {
+        finished_fifo_.push_back(finished);
+        while (finished_fifo_.size() > cfg_.max_retained_jobs) {
+            jobs_.erase(finished_fifo_.front());
+            finished_fifo_.pop_front();
+        }
+    }
+
+    void shutdown() {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (!stopping_) {
+            stopping_ = true;
+            for (auto& [key, lane] : lanes_) {
+                for (auto& job : lane.queue) {
+                    if (job->state != JobState::kQueued) continue;
+                    job->state = JobState::kCancelled;
+                    ++stats_cancelled_;
+                    retain_locked(job->id);
+                }
+                lane.queue.clear();
+            }
+            queued_ = 0;
+            for (auto& [id, job] : jobs_) {
+                if (job->state == JobState::kRunning)
+                    job->cancel.request_cancel();
+            }
+        }
+        cv_.notify_all();
+        cv_.wait(lk, [this] { return running_ == 0; });
+    }
+
+    // ---- members ---------------------------------------------------------
+
+    ServiceConfig cfg_;
+    const unsigned workers_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    runtime::ThreadPool pool_;  // after mu_/cv_: joined before they die
+
+    std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+    std::map<std::string, Lane> lanes_;
+    std::vector<std::string> rr_order_;
+    size_t rr_pos_ = 0;
+    std::deque<JobId> finished_fifo_;
+
+    JobId next_id_ = 1;
+    size_t queued_ = 0;
+    size_t running_ = 0;
+    bool stopping_ = false;
+
+    uint64_t stats_accepted_ = 0;
+    uint64_t stats_rejected_ = 0;
+    uint64_t stats_completed_ = 0;
+    uint64_t stats_cancelled_ = 0;
+    uint64_t stats_expired_ = 0;
+    uint64_t stats_failed_ = 0;
+    double par2_sum_ = 0.0;
+    uint64_t par2_jobs_ = 0;
+    std::map<std::string, BackendVerdicts> backend_verdicts_;
+    Timer uptime_;
+};
+
+// ---- SolveService ----------------------------------------------------------
+
+SolveService::SolveService(ServiceConfig cfg)
+    : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+SolveService::~SolveService() { shutdown(); }
+
+const ServiceConfig& SolveService::config() const { return impl_->cfg_; }
+
+namespace {
+
+/// Resolve and validate a per-job deadline against the service bounds.
+Result<double> resolve_timeout(const ServiceConfig& cfg, double requested) {
+    if (requested < 0.0)
+        return Status::invalid_argument("timeout_s must be >= 0");
+    double t = requested == 0.0 ? cfg.default_timeout_s : requested;
+    if (cfg.max_timeout_s > 0.0) t = std::min(t, cfg.max_timeout_s);
+    return t;
+}
+
+}  // namespace
+
+Result<JobId> SolveService::submit(JobRequest request) {
+    const Result<double> timeout =
+        resolve_timeout(impl_->cfg_, request.timeout_s);
+    if (!timeout.ok()) return timeout.status();
+
+    EngineConfig cfg = impl_->cfg_.engine;
+    if (!request.solver.empty()) {
+        // Validate the spec now so a typo fails the submit, not the job.
+        auto probe =
+            sat::BackendRegistry::global().create(sat::SolverSpec(request.solver));
+        if (!probe.ok()) return probe.status();
+        cfg.sat_backend = request.solver;
+    }
+
+    auto job = std::make_shared<Impl::Job>();
+    job->client = std::move(request.client);
+    job->problem = std::move(request.problem);
+    job->cfg = std::move(cfg);
+    job->timeout_s = *timeout;
+    return impl_->admit(std::move(job));
+}
+
+Status SolveService::open_session(const std::string& client,
+                                  const std::string& name, Problem base) {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    if (impl_->stopping_)
+        return Status::unavailable("service is shutting down");
+    Impl::Lane* lane = impl_->lane_for_locked(client);
+    if (lane == nullptr)
+        return Status::unavailable(
+            "client table full (cap " +
+            std::to_string(impl_->cfg_.max_clients) + " clients)");
+    if (lane->sessions.count(name))
+        return Status::invalid_argument("session '" + name +
+                                        "' is already open for this client");
+    if (lane->sessions.size() >= impl_->cfg_.max_sessions_per_client)
+        return Status::unavailable(
+            "session pool full (cap " +
+            std::to_string(impl_->cfg_.max_sessions_per_client) +
+            " sessions per client)");
+    auto slot = std::make_shared<Impl::SessionSlot>();
+    slot->base = std::move(base);
+    lane->sessions.emplace(name, std::move(slot));
+    return Status();
+}
+
+Result<JobId> SolveService::submit_assumptions(const std::string& client,
+                                               const std::string& name,
+                                               AssumptionSet assumptions,
+                                               double timeout_s) {
+    const Result<double> timeout = resolve_timeout(impl_->cfg_, timeout_s);
+    if (!timeout.ok()) return timeout.status();
+
+    std::shared_ptr<Impl::SessionSlot> slot;
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu_);
+        auto lane_it = impl_->lanes_.find(client);
+        if (lane_it != impl_->lanes_.end()) {
+            auto it = lane_it->second.sessions.find(name);
+            if (it != lane_it->second.sessions.end()) slot = it->second;
+        }
+    }
+    if (!slot)
+        return Status::invalid_argument("no open session '" + name +
+                                        "' for client '" + client + "'");
+    for (const auto& [var, value] : assumptions) {
+        (void)value;
+        if (var >= slot->base.num_vars())
+            return Status::invalid_argument(
+                "assumption variable x" + std::to_string(var + 1) +
+                " outside the session's variable space (" +
+                std::to_string(slot->base.num_vars()) + " vars)");
+    }
+
+    auto job = std::make_shared<Impl::Job>();
+    job->client = client;
+    job->slot = std::move(slot);
+    job->assumptions = std::move(assumptions);
+    job->cfg = impl_->cfg_.engine;
+    job->timeout_s = *timeout;
+    return impl_->admit(std::move(job));
+}
+
+Status SolveService::close_session(const std::string& client,
+                                   const std::string& name) {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    auto lane_it = impl_->lanes_.find(client);
+    if (lane_it == impl_->lanes_.end() ||
+        lane_it->second.sessions.erase(name) == 0)
+        return Status::invalid_argument("no open session '" + name +
+                                        "' for client '" + client + "'");
+    return Status();
+}
+
+Result<JobState> SolveService::job_state(JobId id) const {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    auto it = impl_->jobs_.find(id);
+    if (it == impl_->jobs_.end())
+        return Status::invalid_argument("unknown job id " + std::to_string(id));
+    return it->second->state;
+}
+
+Result<JobOutcome> SolveService::wait(JobId id, double wait_s) {
+    std::unique_lock<std::mutex> lk(impl_->mu_);
+    auto it = impl_->jobs_.find(id);
+    if (it == impl_->jobs_.end())
+        return Status::invalid_argument("unknown job id " + std::to_string(id));
+    // Hold the job alive across the wait even if retention evicts it.
+    std::shared_ptr<Impl::Job> job = it->second;
+
+    const auto terminal = [&job] {
+        return job->state != JobState::kQueued &&
+               job->state != JobState::kRunning;
+    };
+    if (wait_s < 0.0) {
+        impl_->cv_.wait(lk, terminal);
+    } else if (!impl_->cv_.wait_for(
+                   lk, std::chrono::duration<double>(wait_s), terminal)) {
+        return Status::timeout("job " + std::to_string(id) + " still " +
+                               job_state_name(job->state) + " after " +
+                               std::to_string(wait_s) + "s");
+    }
+
+    JobOutcome out;
+    out.id = id;
+    out.state = job->state;
+    out.error = job->error;
+    out.report = job->report;
+    out.queued_s = job->queued_s;
+    out.run_s = job->run_s;
+    out.timeout_s = job->timeout_s;
+    return out;
+}
+
+Status SolveService::cancel(JobId id) {
+    std::unique_lock<std::mutex> lk(impl_->mu_);
+    auto it = impl_->jobs_.find(id);
+    if (it == impl_->jobs_.end())
+        return Status::invalid_argument("unknown job id " + std::to_string(id));
+    std::shared_ptr<Impl::Job> job = it->second;
+    if (job->state == JobState::kQueued) {
+        // Cancelled in place; the queue entry is reaped by the scheduler.
+        job->state = JobState::kCancelled;
+        job->queued_s = job->since_submit.seconds();
+        --impl_->queued_;
+        ++impl_->stats_cancelled_;
+        impl_->retain_locked(id);
+        lk.unlock();
+        impl_->cv_.notify_all();
+        return Status();
+    }
+    if (job->state == JobState::kRunning) job->cancel.request_cancel();
+    return Status();  // terminal states: idempotent no-op
+}
+
+ServiceStats SolveService::stats() const {
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu_);
+        s.accepted = impl_->stats_accepted_;
+        s.rejected = impl_->stats_rejected_;
+        s.completed = impl_->stats_completed_;
+        s.cancelled = impl_->stats_cancelled_;
+        s.expired = impl_->stats_expired_;
+        s.failed = impl_->stats_failed_;
+        s.queued = impl_->queued_;
+        s.running = impl_->running_;
+        s.clients = impl_->lanes_.size();
+        for (const auto& [key, lane] : impl_->lanes_) {
+            s.open_sessions += lane.sessions.size();
+            for (const auto& [name, slot] : lane.sessions)
+                if (slot->session) ++s.warm_sessions;
+        }
+        s.par2_sum = impl_->par2_sum_;
+        s.par2_jobs = impl_->par2_jobs_;
+        s.backend_verdicts = impl_->backend_verdicts_;
+        s.uptime_s = impl_->uptime_.seconds();
+    }
+    s.store = anf::MonomialStore::global().stats();
+    return s;
+}
+
+void SolveService::shutdown() { impl_->shutdown(); }
+
+}  // namespace bosphorus
