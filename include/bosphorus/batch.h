@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -71,6 +72,11 @@ struct PortfolioOutcome {
     double seconds = 0.0;      ///< wall-clock of this entry's run
     size_t iterations = 0;     ///< outer-loop iterations completed
     size_t facts = 0;          ///< fresh facts this entry learnt
+    /// Cooperative exchange (EngineConfig::cooperative): foreign facts
+    /// this entry imported from / own facts it published to the shared
+    /// pool. 0 for isolated entries.
+    size_t facts_imported = 0;
+    size_t facts_published = 0;
 };
 
 /// Result of a portfolio race.
@@ -86,6 +92,11 @@ struct PortfolioReport {
     /// Per-entry summaries, in entry order (losers included).
     std::vector<PortfolioOutcome> outcomes;
     double seconds = 0.0;  ///< wall-clock of the whole race
+    /// Cooperative races only: distinct facts that entered the shared
+    /// pool, and publishes suppressed as duplicates (0 when the race ran
+    /// isolated). See src/runtime/fact_exchange.h.
+    uint64_t facts_shared = 0;
+    uint64_t facts_suppressed = 0;
     /// True iff the winner decided the instance (SAT or UNSAT).
     bool decided() const {
         return report.verdict != sat::Result::kUnknown;

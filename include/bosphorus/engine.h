@@ -35,6 +35,10 @@
 
 namespace bosphorus {
 
+namespace runtime {
+class SharedFactPool;  // src/runtime/fact_exchange.h
+}  // namespace runtime
+
 // Defined in bosphorus/batch.h (the concurrent-runtime facade); forward
 // declared here so Engine::solve_portfolio can be a member.
 struct PortfolioEntry;
@@ -82,6 +86,25 @@ struct EngineConfig {
     /// quadratic ANF facts. Off by default: the paper keeps only linear
     /// facts (value and equivalence assignments).
     bool harvest_binary_clauses = false;
+
+    /// Cooperative fact exchange (src/runtime/fact_exchange.h). When true
+    /// and `fact_pool` is set, this engine publishes learnt unit/binary
+    /// facts and ANF variable fixings to the pool and imports the other
+    /// workers' facts -- into the master ANF at iteration boundaries and
+    /// into the in-loop SAT solver before each solve round. Off (the
+    /// default) keeps the fully isolated, bit-for-bit deterministic path:
+    /// that is the oracle cooperative runs are differentially tested
+    /// against. solve_portfolio creates and wires the pool when any entry
+    /// sets `cooperative`; set it manually only for custom worker sets,
+    /// and only across workers solving the SAME problem (facts are
+    /// consequences of the shared base -- see fact_exchange.h).
+    bool cooperative = false;
+    /// The shared exchange, sized to the problem's original variables.
+    /// Ignored unless `cooperative`.
+    std::shared_ptr<runtime::SharedFactPool> fact_pool;
+    /// This worker's id in the pool (self-published facts are skipped on
+    /// import). Portfolios assign entry indices.
+    unsigned coop_worker = 0;
 
     /// RNG seed. Runs are bit-for-bit reproducible given (problem,
     /// config, seed) -- this is also what makes BatchEngine results
@@ -146,6 +169,11 @@ struct Report {
     size_t total_facts() const;
 
     size_t iterations = 0;     ///< outer-loop iterations completed
+    /// Cooperative exchange: foreign facts this run imported from the
+    /// shared pool / own facts it published to it (0 unless
+    /// EngineConfig::cooperative).
+    size_t facts_imported = 0;
+    size_t facts_published = 0;
     size_t vars_fixed = 0;     ///< variables assigned a constant
     size_t vars_replaced = 0;  ///< variables replaced by an equivalence
     double seconds = 0.0;      ///< wall-clock of the run

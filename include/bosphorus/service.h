@@ -68,6 +68,17 @@ struct ServiceConfig {
     /// config (see `open_session`).
     EngineConfig engine;
 
+    /// Run each one-shot job as a *cooperative* portfolio race instead of
+    /// a single engine: the default_portfolio entries over `engine` race
+    /// on the job's instance and share learnt facts through a lock-free
+    /// pool (see src/runtime/fact_exchange.h). Verdicts are identical to
+    /// the isolated run; wall-clock-to-first-verdict is typically no
+    /// worse. Each such job may occupy up to one OS thread per portfolio
+    /// entry *in addition to* its worker slot, so budget `n_workers`
+    /// accordingly. Warm-session sweep jobs are unaffected (a Session is
+    /// single-threaded by contract).
+    bool cooperative = false;
+
     /// Worker threads executing jobs (0 = hardware concurrency). Unlike
     /// BatchEngine::threads_for, an explicit count is honoured even beyond
     /// the core count: service jobs frequently wait on deadlines or

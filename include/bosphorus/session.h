@@ -57,6 +57,7 @@
 #include "bosphorus/technique.h"
 #include "core/anf_system.h"
 #include "runtime/cancellation.h"
+#include "runtime/fact_exchange.h"
 #include "util/timer.h"
 
 namespace bosphorus {
@@ -194,6 +195,13 @@ private:
     /// bound base + fixed-variable literals capture the system exactly.
     bool warm_valid() const;
 
+    /// Cooperative exchange (src/runtime/fact_exchange.h), active when
+    /// cfg_.cooperative and cfg_.fact_pool are set. Drain foreign unit
+    /// facts into the master ANF (returns facts drained); publish this
+    /// session's fixed/replaced variables back.
+    size_t coop_import_anf();
+    size_t coop_publish_anf();
+
     /// One open scope: the snapshot pop() rewinds to, plus whether the
     /// frame carries free-form (non-assumption) equations.
     struct Frame {
@@ -215,6 +223,14 @@ private:
     bool enable_warm_ = true;  // off for Engine's throwaway sessions
     bool needs_bind_ = true;   // base changed (or never bound)
     bool bound_ = false;       // bind_base has reached the registry
+    // Cooperative-exchange soundness tracking: whether the depth-0 base
+    // is still exactly the constructed problem (no user add/assume at
+    // depth 0), and whether that held at the last technique bind (gates
+    // warm-solver publishes; see FactSink::coop_publish_warm).
+    bool coop_base_is_problem_ = true;
+    bool coop_bound_publishable_ = false;
+    runtime::SharedFactPool::Cursor coop_cursor_;  // ANF-level imports
+    std::vector<runtime::SharedFact> coop_buf_;    // reused drain buffer
 };
 
 }  // namespace bosphorus

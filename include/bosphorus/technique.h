@@ -38,6 +38,10 @@ namespace bosphorus::core {
 class AnfSystem;
 }  // namespace bosphorus::core
 
+namespace bosphorus::runtime {
+class SharedFactPool;  // src/runtime/fact_exchange.h
+}  // namespace bosphorus::runtime
+
 namespace bosphorus {
 
 /// The channel through which a technique feeds learnt facts back into the
@@ -52,14 +56,17 @@ public:
     /// warm-base hint (see warm_base_valid()).
     FactSink(core::AnfSystem& sys, Rng& rng, double time_remaining_s,
              size_t iteration, int verbosity,
-             runtime::CancellationToken cancel = {}, bool warm = false)
+             runtime::CancellationToken cancel = {}, bool warm = false,
+             bool coop_publish_base = true, bool coop_publish_warm = true)
         : sys_(sys),
           rng_(rng),
           time_remaining_s_(time_remaining_s),
           iteration_(iteration),
           verbosity_(verbosity),
           cancel_(std::move(cancel)),
-          warm_(warm) {}
+          warm_(warm),
+          coop_publish_base_(coop_publish_base),
+          coop_publish_warm_(coop_publish_warm) {}
 
     /// Add a learnt polynomial fact (an equation fact = 0). Returns true
     /// iff the fact was new, i.e. changed the system.
@@ -109,6 +116,29 @@ public:
     /// Engine::run always reports false.
     bool warm_base_valid() const { return warm_; }
 
+    /// True iff the system under processing IS the shared base problem
+    /// (no pushes, no assumptions, no extra constraints): only then may a
+    /// cooperative SAT step publish cold-path harvests to the shared
+    /// pool, because those are consequences of the *current* system. See
+    /// src/runtime/fact_exchange.h for the soundness contract.
+    bool coop_publish_base() const { return coop_publish_base_; }
+
+    /// True iff the base the persistent warm solver was last bound to is
+    /// the shared base problem. The warm solver's clause database only
+    /// ever contains consequences of its bound base (assumptions never
+    /// enter it), so under this flag its learnt exports are publishable
+    /// at ANY scope -- this is what lets cooperative sweep workers share
+    /// while deep in assumption scopes.
+    bool coop_publish_warm() const { return coop_publish_warm_; }
+
+    /// Cooperative-exchange tallies for this step, folded into
+    /// Report::facts_imported / facts_published by the session loop.
+    /// Techniques that import/publish through a SharedFactPool call these.
+    void count_coop_imported(size_t n) { coop_imported_ += n; }
+    void count_coop_published(size_t n) { coop_published_ += n; }
+    size_t coop_imported() const { return coop_imported_; }
+    size_t coop_published() const { return coop_published_; }
+
 private:
     core::AnfSystem& sys_;
     Rng& rng_;
@@ -117,8 +147,12 @@ private:
     int verbosity_;
     runtime::CancellationToken cancel_;
     bool warm_ = false;
+    bool coop_publish_base_ = true;
+    bool coop_publish_warm_ = true;
     size_t seen_ = 0;
     size_t fresh_ = 0;
+    size_t coop_imported_ = 0;
+    size_t coop_published_ = 0;
 };
 
 /// What one technique step accomplished.
@@ -216,6 +250,13 @@ struct SatTechniqueConfig {
     /// then uses whatever the backend can export (external processes
     /// export nothing; the step still decides SAT/UNSAT).
     std::string backend;
+    /// Cooperative fact exchange (src/runtime/fact_exchange.h): when set,
+    /// the step imports foreign learnt units/binaries as clauses into its
+    /// solver before every solve round, and publishes its own learnt-fact
+    /// harvest (cold-path harvests only when FactSink::coop_publish_base()
+    /// holds -- see there). Null keeps the isolated path.
+    std::shared_ptr<runtime::SharedFactPool> fact_pool;
+    unsigned coop_worker = 0;  ///< this worker's id in the pool
 };
 
 /// The conflict-bounded SAT step (see SatTechniqueConfig) as a Technique.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "bosphorus/session.h"
+#include "runtime/fact_exchange.h"
 #include "runtime/result_queue.h"
 #include "runtime/thread_pool.h"
 #include "util/timer.h"
@@ -50,7 +51,12 @@ std::vector<Result<Report>> BatchEngine::solve_all(
     // Snapshot the token: workers capture the copy, so a (misuse-y)
     // set_cancellation_token() racing the batch cannot tear a token read.
     const runtime::CancellationToken cancel = cancel_;
-    const EngineConfig cfg = cfg_;
+    EngineConfig cfg = cfg_;
+    // Fact sharing requires every worker to solve the SAME problem (pool
+    // facts are consequences of a shared base). solve_all instances are
+    // distinct problems, so sharing here would be unsound: strip it.
+    cfg.cooperative = false;
+    cfg.fact_pool.reset();
 
     std::mutex callback_mutex;
     runtime::ThreadPool pool(n_threads);
@@ -97,7 +103,15 @@ std::vector<Result<Report>> BatchEngine::solve_all_incremental(
 
     n_threads = threads_for(candidates.size(), n_threads);
     const runtime::CancellationToken cancel = cancel_;
-    const EngineConfig cfg = cfg_;
+    EngineConfig cfg = cfg_;
+    // Sweep workers all hold the same base problem, so cooperative fact
+    // sharing is sound: one pool for the sweep, one worker id per block.
+    // (Each worker's Session publishes only base-consequence facts --
+    // live-solver exports and depth-0 resolutions -- and imports
+    // everything; see Session::solve and src/runtime/fact_exchange.h.)
+    if (cfg.cooperative && !cfg.fact_pool)
+        cfg.fact_pool =
+            std::make_shared<runtime::SharedFactPool>(base.num_vars());
 
     // One contiguous block of candidates per worker: the partition is a
     // pure function of (candidate count, worker count), so a worker's
@@ -113,7 +127,7 @@ std::vector<Result<Report>> BatchEngine::solve_all_incremental(
         const size_t end = std::min(candidates.size(), begin + per_block);
         if (begin >= end) break;
         pool.submit([&candidates, &out, &on_result, &callback_mutex, &cancel,
-                     &cfg, &base, begin, end] {
+                     &cfg, &base, begin, end, b] {
             // The worker's private Session: the base is materialised and
             // simplified once for the whole block.
             std::unique_ptr<Session> session;
@@ -121,7 +135,9 @@ std::vector<Result<Report>> BatchEngine::solve_all_incremental(
                 if (cancel.cancelled()) break;  // slots keep kInterrupted
                 try {
                     if (!session) {
-                        session = std::make_unique<Session>(base, cfg);
+                        EngineConfig wcfg = cfg;
+                        wcfg.coop_worker = b;  // distinct id per worker
+                        session = std::make_unique<Session>(base, wcfg);
                         session->set_cancellation_token(cancel);
                     }
                     session->push();
@@ -219,6 +235,29 @@ Result<PortfolioReport> solve_portfolio(const Problem& problem,
     if (n_threads == 0 || n_threads > hw) n_threads = hw;
     n_threads = static_cast<unsigned>(std::min<size_t>(n_threads, k));
 
+    // Cooperative entries share one fact pool over the problem's original
+    // variables (CNF auxiliaries differ per entry and are rejected by the
+    // pool's variable bound). Entries that brought their own pool keep it
+    // -- and their caller-assigned worker id with it.
+    std::vector<PortfolioEntry> wired;
+    const std::vector<PortfolioEntry>* running = &entries;
+    std::shared_ptr<runtime::SharedFactPool> pool_shared;
+    bool any_coop = false;
+    for (const PortfolioEntry& e : entries)
+        any_coop |= e.config.cooperative && !e.config.fact_pool;
+    if (any_coop) {
+        pool_shared =
+            std::make_shared<runtime::SharedFactPool>(problem.num_vars());
+        wired = entries;
+        for (size_t i = 0; i < wired.size(); ++i) {
+            EngineConfig& c = wired[i].config;
+            if (!c.cooperative || c.fact_pool) continue;
+            c.fact_pool = pool_shared;
+            c.coop_worker = static_cast<unsigned>(i);
+        }
+        running = &wired;
+    }
+
     // The race-internal source fires when a decisive winner lands; each
     // worker token also observes the caller's external token.
     runtime::CancellationSource race_cancel;
@@ -242,7 +281,7 @@ Result<PortfolioReport> solve_portfolio(const Problem& problem,
             pool.submit([&, i] {
                 Timer entry_timer;
                 try {
-                    Engine engine(entries[i].config);
+                    Engine engine((*running)[i].config);
                     engine.set_cancellation_token(worker_token);
                     results[i] = engine.run(problem);
                 } catch (const std::exception& ex) {
@@ -278,6 +317,8 @@ Result<PortfolioReport> solve_portfolio(const Problem& problem,
             o.timed_out = r.timed_out;
             o.iterations = r.iterations;
             o.facts = r.total_facts();
+            o.facts_imported = r.facts_imported;
+            o.facts_published = r.facts_published;
         } else {
             o.errored = true;
         }
@@ -302,6 +343,10 @@ Result<PortfolioReport> solve_portfolio(const Problem& problem,
     rep.winner_name = entries[winner].name;
     rep.report = std::move(results[winner].value());
     rep.seconds = timer.seconds();
+    if (pool_shared) {
+        rep.facts_shared = pool_shared->published();
+        rep.facts_suppressed = pool_shared->suppressed();
+    }
     return rep;
 }
 

@@ -54,6 +54,10 @@ std::vector<std::unique_ptr<Technique>> make_default_techniques(
         sat_cfg.conflicts_step = cfg.sat_conflicts_step;
         sat_cfg.harvest_binary_clauses = cfg.harvest_binary_clauses;
         sat_cfg.backend = cfg.sat_backend;
+        if (cfg.cooperative && cfg.fact_pool) {
+            sat_cfg.fact_pool = cfg.fact_pool;
+            sat_cfg.coop_worker = cfg.coop_worker;
+        }
         out.push_back(make_sat_technique(sat_cfg));
     }
     return out;

@@ -80,10 +80,14 @@ Status Session::add(const Polynomial& p) {
             std::to_string(num_vars_) + "-variable space");
     }
     sys_.add_original(p);
-    if (frames_.empty())
+    if (frames_.empty()) {
         needs_bind_ = true;  // the persistent base grew: rebind lazily
-    else
+        // The base is now stronger than the constructed problem: its
+        // consequences are no longer publishable to a shared fact pool.
+        coop_base_is_problem_ = false;
+    } else {
         frames_.back().free_adds = true;  // cold path until this scope pops
+    }
     return {};
 }
 
@@ -100,6 +104,8 @@ Status Session::assume(anf::Var v, bool value) {
     Polynomial f = Polynomial::variable(v);
     if (value) f += Polynomial::constant(true);
     sys_.add_original(f);
+    // Depth-0 assumptions are permanent: the base outgrows the problem.
+    if (frames_.empty()) coop_base_is_problem_ = false;
     return {};
 }
 
@@ -168,6 +174,7 @@ void Session::rebind_if_needed() {
     for (const auto& t : techniques_) t->bind_base(base, num_vars_);
     needs_bind_ = false;
     bound_ = true;
+    coop_bound_publishable_ = coop_base_is_problem_;
 }
 
 bool Session::warm_valid() const {
@@ -175,6 +182,59 @@ bool Session::warm_valid() const {
     for (const Frame& f : frames_)
         if (f.free_adds) return false;
     return true;
+}
+
+// ---- cooperative fact exchange ---------------------------------------------
+
+// Drain foreign facts from the shared pool and inject the unit ones into
+// the master ANF as learnt facts (binaries are consumed at the SAT layer
+// through the technique's own cursor -- see SatTechniqueConfig::fact_pool
+// -- where a clausal fact is directly expressible). Every pool fact is a
+// consequence of the shared base problem, which this session's system
+// contains, so injection at any scope preserves the solution set.
+size_t Session::coop_import_anf() {
+    coop_buf_.clear();
+    const size_t drained =
+        cfg_.fact_pool->import(coop_cursor_, cfg_.coop_worker, coop_buf_);
+    for (const runtime::SharedFact& f : coop_buf_) {
+        if (f.kind != runtime::SharedFact::Kind::kUnit) continue;
+        if (f.a.var() >= num_vars_) continue;
+        // Literal f.a is true: x = !sign, i.e. the polynomial x (+ 1).
+        Polynomial p = Polynomial::variable(f.a.var());
+        if (!f.a.sign()) p += Polynomial::constant(true);
+        sys_.add_fact(p);
+        if (!sys_.okay()) break;
+    }
+    return drained;
+}
+
+// Publish this session's resolved variables: fixed vars as units, and
+// equivalences as the two binary clauses importers pair back up into an
+// ANF equivalence. Only sound when the current system IS the shared base
+// problem (depth 0, no user constraints) -- callers gate on that. The
+// pool's duplicate filter absorbs re-publishes across iterations.
+size_t Session::coop_publish_anf() {
+    runtime::SharedFactPool& pool = *cfg_.fact_pool;
+    const size_t limit = std::min(num_vars_, pool.num_shared_vars());
+    size_t published = 0;
+    for (anf::Var v = 0; v < limit; ++v) {
+        const core::VarState st = sys_.resolve(v);
+        if (st.kind == core::VarState::Kind::kFixed) {
+            // The literal that is TRUE under the fixing.
+            if (pool.publish_unit(cfg_.coop_worker, sat::mk_lit(v, !st.value)))
+                ++published;
+        } else if (st.kind == core::VarState::Kind::kReplaced &&
+                   st.root < limit) {
+            // v == root ^ flip: clauses (~v | r^flip) and (v | ~(r^flip)).
+            if (pool.publish_binary(cfg_.coop_worker, sat::mk_lit(v, true),
+                                    sat::mk_lit(st.root, st.flip)))
+                ++published;
+            if (pool.publish_binary(cfg_.coop_worker, sat::mk_lit(v, false),
+                                    sat::mk_lit(st.root, !st.flip)))
+                ++published;
+        }
+    }
+    return published;
 }
 
 // ---- the fact-learning loop ------------------------------------------------
@@ -221,11 +281,23 @@ Result<Report> Session::solve() {
     const runtime::CancellationToken stop =
         runtime::CancellationToken::linked(cancel_, interrupt_);
 
+    // Cooperative fact exchange: at every iteration boundary drain the
+    // other workers' facts into the master ANF and publish this system's
+    // resolved variables back (the SAT technique additionally exchanges
+    // clause-level facts through its own cursor). Publishing is gated on
+    // the current system being exactly the shared base problem; importing
+    // is always sound (the pool only carries base consequences).
+    const bool coop = cfg_.cooperative && cfg_.fact_pool != nullptr;
+    const bool coop_cold_ok =
+        coop && frames_.empty() && coop_base_is_problem_;
+    const bool coop_warm_ok = coop && coop_bound_publishable_;
+
     bool halted = false;  // a technique decided, or an interrupt arrived
     for (rep.iterations = 0;
          sys_.okay() && rep.iterations < cfg_.max_iterations && !out_of_time();
          ++rep.iterations) {
         bool changed = false;
+        if (coop) rep.facts_imported += coop_import_anf();
 
         for (size_t ti = 0; ti < techniques_.size(); ++ti) {
             if (!sys_.okay() || out_of_time()) break;
@@ -237,9 +309,12 @@ Result<Report> Session::solve() {
 
             Technique& tech = *techniques_[ti];
             FactSink sink(sys_, rng, cfg_.time_budget_s - elapsed(),
-                          rep.iterations, cfg_.verbosity, stop, warm);
+                          rep.iterations, cfg_.verbosity, stop, warm,
+                          coop_cold_ok, coop_warm_ok);
             StepReport sr = tech.step(sys_, sink);
             if (!sr.status.ok()) return sr.status;
+            rep.facts_imported += sink.coop_imported();
+            rep.facts_published += sink.coop_published();
 
             const size_t fresh = sink.fresh() + sr.facts_fresh;
             rep.techniques[ti].steps += 1;
@@ -266,6 +341,9 @@ Result<Report> Session::solve() {
                 break;
             }
         }
+
+        if (coop_cold_ok && sys_.okay())
+            rep.facts_published += coop_publish_anf();
 
         if (halted || !changed) break;  // decision/interrupt or fixed point
     }

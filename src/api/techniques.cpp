@@ -7,6 +7,7 @@
 #include "bosphorus/sat_backend.h"
 #include "bosphorus/technique.h"
 #include "core/anf_system.h"
+#include "runtime/fact_exchange.h"
 #include "sat/solver.h"
 #include "util/log.h"
 
@@ -161,6 +162,9 @@ public:
     /// backend instead of the built-in native solver.
     void bind_base(const std::vector<Polynomial>& base,
                    size_t num_vars) override {
+        // A fresh persistent solver has none of the cached foreign facts:
+        // re-inject them all on the next live step.
+        coop_live_added_ = 0;
         if (!cfg_.backend.empty()) {
             live_.reset();
             live_backend_.reset();
@@ -190,6 +194,60 @@ public:
         live_ = std::make_unique<sat::Solver>(scfg);
         live_num_anf_vars_ = conv.num_anf_vars;
         live_->load(conv.cnf);  // a false return leaves okay() false: UNSAT
+    }
+
+    // ---- cooperative fact exchange (src/runtime/fact_exchange.h) ----
+    //
+    // With a SharedFactPool configured, foreign learnt facts are drained
+    // into `coop_clauses_` (a local cache, because cold paths build a
+    // fresh solver per step and must re-inject everything) and added as
+    // clauses before every solve round; own harvests are published back.
+    // Every cached fact is a consequence of the shared base problem, so
+    // injection is sound into any solver over a system that contains the
+    // base -- cold, live, scoped or not.
+
+    /// Drain newly published foreign facts into the cache, crediting the
+    /// step's import tally. Returns the number drained.
+    size_t coop_refresh(FactSink& sink) {
+        if (!cfg_.fact_pool) return 0;
+        const size_t n = cfg_.fact_pool->import(coop_cursor_, cfg_.coop_worker,
+                                                coop_clauses_);
+        if (n) sink.count_coop_imported(n);
+        return n;
+    }
+
+    /// Add cached facts [from, end) as clauses through `add`, skipping
+    /// facts over variables the target encoding does not map identically
+    /// (>= n_anf_vars; cannot happen for correctly sized pools, kept as a
+    /// guard). Returns the new cache end.
+    template <typename AddClause>
+    size_t coop_inject(size_t from, size_t n_anf_vars, AddClause add) const {
+        for (size_t i = from; i < coop_clauses_.size(); ++i) {
+            const runtime::SharedFact& f = coop_clauses_[i];
+            if (f.kind == runtime::SharedFact::Kind::kUnit) {
+                if (f.a.var() < n_anf_vars) add(std::vector<sat::Lit>{f.a});
+            } else if (f.a.var() < n_anf_vars && f.b.var() < n_anf_vars) {
+                add(std::vector<sat::Lit>{f.a, f.b});
+            }
+        }
+        return coop_clauses_.size();
+    }
+
+    /// Publish a solver's learnt units and binaries to the pool (which
+    /// itself rejects variables outside the shared space -- that is how
+    /// CNF auxiliaries above the original problem vars are filtered).
+    /// Callers gate cold-path publishes on FactSink::coop_publish_base().
+    void coop_publish(const std::vector<sat::Lit>& units,
+                      const std::vector<std::array<sat::Lit, 2>>& binaries,
+                      FactSink& sink) {
+        if (!cfg_.fact_pool) return;
+        runtime::SharedFactPool& pool = *cfg_.fact_pool;
+        size_t published = 0;
+        for (const sat::Lit u : units)
+            if (pool.publish_unit(cfg_.coop_worker, u)) ++published;
+        for (const auto& b : binaries)
+            if (pool.publish_binary(cfg_.coop_worker, b[0], b[1])) ++published;
+        if (published) sink.count_coop_published(published);
     }
 
     // Deliberate: the empty-spec native paths below are NOT routed
@@ -276,7 +334,11 @@ private:
         const double remaining = std::max(0.1, sink.time_remaining_s());
         sat::Result r = sat::Result::kUnsat;
         if (solver.load(conv.cnf)) {
-            r = solver.solve(conflict_budget_, remaining);
+            coop_refresh(sink);
+            coop_inject(0, conv.num_anf_vars, [&](std::vector<sat::Lit> c) {
+                solver.add_clause(std::move(c));
+            });
+            if (solver.okay()) r = solver.solve(conflict_budget_, remaining);
         }
 
         if (r == sat::Result::kUnsat || !solver.okay()) {
@@ -298,6 +360,10 @@ private:
         if (!harvest(solver.learnt_units(), solver.learnt_binaries(),
                      conv.num_anf_vars, sink))
             return report;
+        // Cold harvests are consequences of the *current* (possibly
+        // scoped) system: only share them when that system is the base.
+        if (sink.coop_publish_base())
+            coop_publish(solver.learnt_units(), solver.learnt_binaries(), sink);
         if (sink.fresh() == 0) {
             // No new facts: raise the conflict budget (section IV).
             conflict_budget_ = std::min(cfg_.conflicts_max,
@@ -327,6 +393,21 @@ private:
         }
         solver.set_terminate_callback(
             [token = sink.cancel_token()] { return token.cancelled(); });
+
+        // Inject foreign facts the persistent solver has not seen yet.
+        // They are base consequences, so they may be added permanently.
+        coop_refresh(sink);
+        if (coop_live_added_ < coop_clauses_.size()) {
+            coop_live_added_ =
+                coop_inject(coop_live_added_, live_num_anf_vars_,
+                            [&](std::vector<sat::Lit> c) {
+                                solver.add_clause(std::move(c));
+                            });
+            if (!solver.okay()) {
+                sink.add(Polynomial::constant(true));
+                return report;
+            }
+        }
 
         std::vector<sat::Lit> assumptions;
         const size_t num_vars = sys.num_vars();
@@ -363,6 +444,12 @@ private:
         if (!harvest(solver.learnt_units(), solver.learnt_binaries(),
                      live_num_anf_vars_, sink))
             return report;
+        // The persistent solver's clause database only ever contains
+        // consequences of the bound base (assumptions never enter it), so
+        // when that base is the shared problem its exports are
+        // publishable at any scope.
+        if (sink.coop_publish_warm())
+            coop_publish(solver.learnt_units(), solver.learnt_binaries(), sink);
         Log{sink.verbosity()}.info(
             2, "iter %zu SAT(live): %zu assumptions, budget %lld, %zu new",
             sink.iteration(), assumptions.size(),
@@ -406,7 +493,11 @@ private:
         const double remaining = std::max(0.1, sink.time_remaining_s());
         sat::Result r = sat::Result::kUnsat;
         if (b.load(conv.cnf)) {
-            r = b.solve(conflict_budget_, remaining);
+            coop_refresh(sink);
+            coop_inject(0, conv.num_anf_vars, [&](std::vector<sat::Lit> c) {
+                b.add_clause(c);
+            });
+            if (b.okay()) r = b.solve(conflict_budget_, remaining);
         }
 
         if (r == sat::Result::kUnsat || !b.okay()) {
@@ -423,6 +514,8 @@ private:
         if (!harvest(b.learnt_units(), b.learnt_binaries(),
                      conv.num_anf_vars, sink))
             return report;
+        if (sink.coop_publish_base())
+            coop_publish(b.learnt_units(), b.learnt_binaries(), sink);
         if (sink.fresh() == 0) {
             conflict_budget_ = std::min(cfg_.conflicts_max,
                                         conflict_budget_ + cfg_.conflicts_step);
@@ -452,6 +545,17 @@ private:
         b.set_terminate_callback(
             [token = sink.cancel_token()] { return token.cancelled(); });
 
+        coop_refresh(sink);
+        if (coop_live_added_ < coop_clauses_.size()) {
+            coop_live_added_ = coop_inject(
+                coop_live_added_, live_num_anf_vars_,
+                [&](const std::vector<sat::Lit>& c) { b.add_clause(c); });
+            if (!b.okay()) {
+                sink.add(Polynomial::constant(true));
+                return report;
+            }
+        }
+
         const size_t num_vars = sys.num_vars();
         size_t n_assumed = 0;
         for (Var v = 0; v < num_vars && v < live_num_anf_vars_; ++v) {
@@ -479,6 +583,14 @@ private:
         if (!harvest(b.learnt_units(), b.learnt_binaries(),
                      live_num_anf_vars_, sink))
             return report;
+        // Like the native live path: a persistent backend's exports are
+        // bound-base consequences, publishable at any scope when the
+        // bound base is the shared problem. (Backends that degrade
+        // assumptions to units export nothing on assumption-laden solves
+        // -- see the lingeling adapter -- so no unsound fact can leak
+        // through this call.)
+        if (sink.coop_publish_warm())
+            coop_publish(b.learnt_units(), b.learnt_binaries(), sink);
         Log{sink.verbosity()}.info(
             2, "iter %zu SAT(%s live): %zu assumptions, %zu new",
             sink.iteration(), cfg_.backend.c_str(), n_assumed, sink.fresh());
@@ -494,6 +606,12 @@ private:
     std::unique_ptr<sat::SolverBackend> live_backend_;  ///< named-backend twin
     Status backend_error_;  ///< a failed bind_base, surfaced at step()
     size_t live_num_anf_vars_ = 0;
+    // Cooperative exchange state: the private import cursor, the cache of
+    // foreign facts drained so far (cold paths re-inject all of it), and
+    // how much of the cache the persistent live solver has already seen.
+    runtime::SharedFactPool::Cursor coop_cursor_;
+    std::vector<runtime::SharedFact> coop_clauses_;
+    size_t coop_live_added_ = 0;
 };
 
 }  // namespace

@@ -40,6 +40,10 @@ void usage() {
         "  --default-timeout S  per-job deadline when none given (30)\n"
         "  --max-timeout S      hard cap on requested deadlines (0 = none)\n"
         "  --loop-solver SPEC   default in-loop SAT back end (native)\n"
+        "  --cooperative        run one-shot jobs as cooperative portfolio\n"
+        "                       races sharing learnt facts (verdicts are\n"
+        "                       identical to isolated runs; each job may\n"
+        "                       use one thread per portfolio entry)\n"
         "  --timeout S          engine time budget per job (1000)\n"
         "  --seed N             engine RNG seed (1)\n"
         "  -v                   verbose engine logging\n"
@@ -102,6 +106,8 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v || !parse_double(v, d)) { usage(); return 2; }
             cfg.max_timeout_s = d;
+        } else if (arg == "--cooperative") {
+            cfg.cooperative = true;
         } else if (arg == "--loop-solver") {
             const char* v = next();
             if (!v) { usage(); return 2; }

@@ -60,6 +60,10 @@ void usage() {
         "                  (*.cnf loads as CNF, anything else as ANF)\n"
         "  --portfolio     race 4 technique configs on one instance;\n"
         "                  first decisive finisher cancels the rest\n"
+        "  --cooperative   portfolio/sweep workers share learnt facts\n"
+        "                  through a lock-free pool instead of racing\n"
+        "                  isolated (verdicts stay identical; per-run\n"
+        "                  determinism is relaxed)\n"
         "  --threads N     worker threads (default: hardware concurrency;\n"
         "                  requests beyond the core count are clamped)\n"
         "\n"
@@ -174,6 +178,7 @@ int run(int argc, char** argv) {
         else if (a == "--sweep") sweep_file = next();
         else if (a == "--batch") batch_mode = true;
         else if (a == "--portfolio") portfolio_mode = true;
+        else if (a == "--cooperative") opt.cooperative = true;
         else if (a == "--threads") n_threads = std::stoul(next());
         else if (batch_mode && !a.empty() && a[0] != '-')
             batch_files.push_back(a);
@@ -536,6 +541,13 @@ int run_portfolio(const Problem& problem, const EngineConfig& opt,
                      o.errored ? "error" : o.interrupted ? "cancelled"
                                                          : "finished",
                      o.iterations, o.facts, o.seconds);
+    }
+    if (opt.cooperative) {
+        std::fprintf(stderr,
+                     "c portfolio: shared pool: %llu facts (%llu duplicate "
+                     "publishes suppressed)\n",
+                     static_cast<unsigned long long>(run->facts_shared),
+                     static_cast<unsigned long long>(run->facts_suppressed));
     }
     std::fprintf(stderr, "c portfolio winner: %s (%.2fs total)\n",
                  run->winner_name.c_str(), run->seconds);

@@ -1,0 +1,174 @@
+#include "runtime/fact_exchange.h"
+
+#include <algorithm>
+
+namespace bosphorus::runtime {
+
+namespace {
+
+// Packed fact word layout (64 bits):
+//   bit  63     : valid (always 1 for a published fact; 0 = empty slot)
+//   bit  62     : kind  (0 = unit, 1 = binary)
+//   bits 54..61 : worker id (8 bits)
+//   bits 27..53 : raw literal a (27 bits)
+//   bits  0..26 : raw literal b (27 bits; 0 for units -- disambiguated by
+//                 the kind bit, so no literal value is reserved)
+constexpr uint64_t kValidBit = 1ull << 63;
+constexpr uint64_t kBinaryBit = 1ull << 62;
+constexpr int kWorkerShift = 54;
+constexpr uint64_t kWorkerMask = 0xFFull << kWorkerShift;
+constexpr int kLitAShift = 27;
+constexpr uint64_t kLitMask = (1ull << 27) - 1;
+
+uint64_t pack_unit(unsigned worker, sat::Lit lit) {
+    return kValidBit | (static_cast<uint64_t>(worker & 0xFF) << kWorkerShift) |
+           (static_cast<uint64_t>(lit.raw()) << kLitAShift);
+}
+
+uint64_t pack_binary(unsigned worker, sat::Lit a, sat::Lit b) {
+    return kValidBit | kBinaryBit |
+           (static_cast<uint64_t>(worker & 0xFF) << kWorkerShift) |
+           (static_cast<uint64_t>(a.raw()) << kLitAShift) |
+           static_cast<uint64_t>(b.raw());
+}
+
+SharedFact unpack(uint64_t w) {
+    SharedFact f;
+    f.kind = (w & kBinaryBit) ? SharedFact::Kind::kBinary
+                              : SharedFact::Kind::kUnit;
+    f.worker = static_cast<uint8_t>((w & kWorkerMask) >> kWorkerShift);
+    f.a = sat::Lit::from_raw(static_cast<uint32_t>((w >> kLitAShift) & kLitMask));
+    f.b = sat::Lit::from_raw(static_cast<uint32_t>(w & kLitMask));
+    return f;
+}
+
+// splitmix64 finaliser: the dedup filter's hash.
+uint64_t mix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+size_t round_up_pow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+SharedFactPool::SharedFactPool(size_t num_shared_vars, size_t capacity)
+    : num_shared_vars_(std::min(num_shared_vars, kMaxSharedVars)),
+      capacity_(round_up_pow2(std::max<size_t>(capacity, 64))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]),
+      // ~4x capacity keeps the filter's load factor low enough that the
+      // bounded probe almost never gives up.
+      filter_(new std::atomic<uint64_t>[capacity_ * 4]),
+      filter_mask_(capacity_ * 4 - 1) {
+    for (size_t i = 0; i < capacity_ * 4; ++i)
+        filter_[i].store(0, std::memory_order_relaxed);
+}
+
+bool SharedFactPool::dedup_insert(uint64_t key) {
+    uint64_t idx = mix64(key) & filter_mask_;
+    for (int probe = 0; probe < 8; ++probe) {
+        uint64_t cur = filter_[idx].load(std::memory_order_relaxed);
+        if (cur == key) return false;  // already published
+        if (cur == 0) {
+            uint64_t expected = 0;
+            if (filter_[idx].compare_exchange_strong(
+                    expected, key, std::memory_order_relaxed))
+                return true;
+            if (expected == key) return false;  // raced with a twin publish
+            // Someone else claimed the slot with a different key: fall
+            // through to the next probe.
+        }
+        idx = (idx + 1) & filter_mask_;
+    }
+    return true;  // filter saturated here: admit (duplicates are harmless)
+}
+
+bool SharedFactPool::publish_packed(uint64_t packed, uint64_t dedup_key) {
+    if (!dedup_insert(dedup_key)) {
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    const uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
+    Slot& slot = slots_[seq & mask_];
+    slot.fact.store(packed, std::memory_order_relaxed);
+    // Monotone tag update: a writer lapped by a whole ring while in flight
+    // must not regress the tag below a later epoch's value, or importers
+    // of that epoch would wait forever on a writer that already finished.
+    uint64_t prev = slot.tag.load(std::memory_order_relaxed);
+    while (prev < seq + 1 &&
+           !slot.tag.compare_exchange_weak(prev, seq + 1,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    }
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool SharedFactPool::publish_unit(unsigned worker, sat::Lit lit) {
+    if (lit.var() >= num_shared_vars_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    const uint64_t packed = pack_unit(worker, lit);
+    return publish_packed(packed, packed & ~kWorkerMask);
+}
+
+bool SharedFactPool::publish_binary(unsigned worker, sat::Lit a, sat::Lit b) {
+    if (a.var() >= num_shared_vars_ || b.var() >= num_shared_vars_ ||
+        a == ~b) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (a == b) return publish_unit(worker, a);
+    if (b < a) std::swap(a, b);
+    const uint64_t packed = pack_binary(worker, a, b);
+    return publish_packed(packed, packed & ~kWorkerMask);
+}
+
+size_t SharedFactPool::import(Cursor& cur, unsigned self_worker,
+                              std::vector<SharedFact>& out,
+                              size_t max_facts) const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    // Fell behind by more than one ring: everything older than
+    // head - capacity is overwritten (or about to be). Jump forward.
+    if (head > capacity_ && cur.next < head - capacity_)
+        cur.next = head - capacity_;
+
+    const uint8_t self = static_cast<uint8_t>(self_worker & 0xFF);
+    size_t imported = 0;
+    while (cur.next < head && imported < max_facts) {
+        const Slot& slot = slots_[cur.next & mask_];
+        const uint64_t want = cur.next + 1;
+        const uint64_t tag = slot.tag.load(std::memory_order_acquire);
+        if (tag < want) break;  // writer claimed the slot but is in flight
+        if (tag > want) {       // already overwritten by a later epoch
+            ++cur.next;
+            continue;
+        }
+        const uint64_t word = slot.fact.load(std::memory_order_relaxed);
+        // Re-check: if a wrapping writer overwrote the fact between the
+        // two loads, `word` may belong to a later sequence. It is still a
+        // complete valid fact (single-word atomic), but skipping keeps
+        // per-cursor at-most-once delivery.
+        if (slot.tag.load(std::memory_order_acquire) != want) {
+            ++cur.next;
+            continue;
+        }
+        ++cur.next;
+        if (!(word & kValidBit)) continue;  // defensive: never-written slot
+        SharedFact f = unpack(word);
+        if (f.worker == self) continue;
+        out.push_back(f);
+        ++imported;
+    }
+    return imported;
+}
+
+}  // namespace bosphorus::runtime

@@ -1,0 +1,162 @@
+// Lock-free learnt-fact exchange for cooperative portfolios.
+//
+// A `SharedFactPool` is a bounded MPMC ring where portfolio workers
+// publish learnt facts -- unit literals (fixed variables, from either the
+// SAT layer's learnt-unit export or the ANF layer's variable fixings) and
+// binary clauses -- and from which every other worker imports them through
+// a private `Cursor`. The design goals, in order:
+//
+//   1. *Soundness under any interleaving.* A whole fact is packed into ONE
+//      64-bit word held in a single std::atomic<uint64_t>, so a reader can
+//      only ever observe a complete, valid fact or discard the slot -- a
+//      racing writer can never produce a torn or mislabeled fact. The
+//      worst cases under contention are a duplicated or a dropped fact,
+//      both harmless: facts are optimisations, never required for
+//      correctness.
+//   2. *No locks, no waiting.* Publishers claim a monotone sequence number
+//      with one fetch_add and write two relaxed/release stores; importers
+//      walk tags with acquire loads. Nobody blocks anybody.
+//   3. *Bounded memory.* The ring holds `capacity()` facts; older entries
+//      are evicted by overwrite. Importers that fall behind jump their
+//      cursor forward (facts lost, not corrupted). A lossy CAS hash filter
+//      suppresses duplicate publishes so the ring's capacity is spent on
+//      distinct facts.
+//
+// Variable-space contract: all workers sharing a pool must agree on the
+// meaning of variables `0 .. num_shared_vars()-1` (portfolios racing one
+// problem share its original variables; CNF-conversion auxiliaries differ
+// per worker and must NOT be published). `publish*` rejects anything
+// outside that range, so a correctly-sized pool is safe even against
+// careless publishers.
+//
+// Soundness contract for publishers: only publish facts that are logical
+// consequences of the SHARED BASE problem (level-0 units / learnt clauses
+// of a solver working on the base problem, ANF facts derived from it).
+// Under that contract every import is sound for every worker, because the
+// base is a subset of each worker's system. Sweep workers solving
+// base+assumptions must publish only base-level facts (see the FactSink
+// gating in the engine layer); workers on *different* problems must not
+// share a pool at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace bosphorus::runtime {
+
+/// One fact read out of the pool: a unit literal or a binary clause over
+/// the shared variable space, tagged with the publishing worker.
+struct SharedFact {
+    enum class Kind : uint8_t { kUnit, kBinary };
+    Kind kind = Kind::kUnit;
+    uint8_t worker = 0;   ///< publisher id (mod 256), for self-skip/attribution
+    sat::Lit a;           ///< the unit literal, or the first clause literal
+    sat::Lit b;           ///< second clause literal iff kind == kBinary
+};
+
+/// Bounded lock-free MPMC exchange of learnt facts (see the file comment).
+/// Construct one per cooperative portfolio, hand the same shared_ptr to
+/// every worker, and give each importer its own Cursor.
+class SharedFactPool {
+public:
+    /// Highest representable variable count: a literal must fit in 27 bits
+    /// of the packed fact word, i.e. var < 2^26.
+    static constexpr size_t kMaxSharedVars = 1u << 26;
+
+    /// A pool over variables `0 .. num_shared_vars-1` holding up to
+    /// `capacity` facts (rounded up to a power of two, min 64).
+    /// `num_shared_vars` is clamped to kMaxSharedVars -- facts over larger
+    /// variables are rejected at publish.
+    explicit SharedFactPool(size_t num_shared_vars, size_t capacity = 4096);
+
+    SharedFactPool(const SharedFactPool&) = delete;
+    SharedFactPool& operator=(const SharedFactPool&) = delete;
+
+    /// Publish a unit fact `lit` from `worker`. Returns true iff the fact
+    /// entered the ring; false if it was rejected (variable outside the
+    /// shared space) or suppressed as a duplicate of an earlier publish.
+    bool publish_unit(unsigned worker, sat::Lit lit);
+
+    /// Publish the binary clause (a | b) from `worker`. The pair is
+    /// canonicalised (sorted) before dedup, so (a|b) and (b|a) are one
+    /// fact. Same return contract as publish_unit. Degenerate pairs with
+    /// a == b are published as the unit a; tautologies (a == ~b) are
+    /// rejected.
+    bool publish_binary(unsigned worker, sat::Lit a, sat::Lit b);
+
+    /// A private import position. Value type; default-constructed cursors
+    /// start at the beginning of the stream. Each sequence number is
+    /// consumed at most once, and overwritten facts are MISSED, not
+    /// corrupted -- by design. A cursor lapped by exactly one ring while a
+    /// wrapping writer is mid-publish can, very rarely, receive one fact
+    /// twice (once early through the recycled slot, once at its own
+    /// sequence number); importers must treat facts as idempotent, which
+    /// clause injection naturally is.
+    struct Cursor {
+        uint64_t next = 0;  ///< next sequence number to read
+    };
+
+    /// Drain every fact published since `cur` that did not originate from
+    /// `self_worker` (mod 256) into `out` (appended), advancing the
+    /// cursor. Returns the number of facts appended. Stops early at
+    /// `max_facts`, at a slot whose writer is still in flight, or at the
+    /// head. If the cursor fell more than capacity() behind, it jumps
+    /// forward and the overwritten facts are silently skipped.
+    size_t import(Cursor& cur, unsigned self_worker,
+                  std::vector<SharedFact>& out,
+                  size_t max_facts = SIZE_MAX) const;
+
+    size_t capacity() const { return capacity_; }
+    size_t num_shared_vars() const { return num_shared_vars_; }
+
+    /// Facts that entered the ring (lifetime, all workers).
+    uint64_t published() const {
+        return published_.load(std::memory_order_relaxed);
+    }
+    /// Publishes suppressed as duplicates (lifetime).
+    uint64_t suppressed() const {
+        return suppressed_.load(std::memory_order_relaxed);
+    }
+    /// Publishes rejected for being outside the shared variable space or
+    /// tautological (lifetime).
+    uint64_t rejected() const {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+    /// Next sequence number to be assigned; `published()` facts have
+    /// sequence numbers below this.
+    uint64_t head() const { return head_.load(std::memory_order_acquire); }
+
+private:
+    // One ring slot. `tag` holds seq+1 once the fact for sequence `seq`
+    // is readable (0 = never written); `fact` holds the packed word.
+    struct Slot {
+        std::atomic<uint64_t> tag{0};
+        std::atomic<uint64_t> fact{0};
+    };
+
+    bool publish_packed(uint64_t packed, uint64_t dedup_key);
+    bool dedup_insert(uint64_t key);
+
+    size_t num_shared_vars_;
+    size_t capacity_;  // power of two
+    uint64_t mask_;    // capacity_ - 1
+    std::unique_ptr<Slot[]> slots_;
+    // Lossy duplicate filter: open-addressed CAS table of worker-stripped
+    // fact keys. Never cleared -- a fact is admitted at most once per pool
+    // lifetime, which also caps re-publish churn after eviction. Lossy in
+    // the admitting direction only: a failed probe admits a duplicate
+    // (harmless), never drops a new fact as duplicate.
+    std::unique_ptr<std::atomic<uint64_t>[]> filter_;
+    uint64_t filter_mask_;
+    std::atomic<uint64_t> head_{0};
+    std::atomic<uint64_t> published_{0};
+    std::atomic<uint64_t> suppressed_{0};
+    std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace bosphorus::runtime

@@ -212,14 +212,30 @@ struct SolveService::Impl {
         if (!job->slot) {
             EngineConfig cfg = job->cfg;
             cfg.time_budget_s = std::min(cfg.time_budget_s, job->timeout_s);
-            Engine engine(cfg);
-            engine.set_cancellation_token(token);
-            Result<Report> res = engine.run(job->problem);
-            if (res.ok()) {
-                report = std::move(res).value();
+            if (cfg_.cooperative) {
+                // Cooperative mode: race the default portfolio on this
+                // instance with fact sharing. solve_portfolio creates and
+                // wires the shared pool; the entries all inherit this
+                // job's resolved config (backend spec included).
+                cfg.cooperative = true;
+                Result<PortfolioReport> res = solve_portfolio(
+                    job->problem, default_portfolio(cfg), 0, token);
+                if (res.ok()) {
+                    report = std::move(res).value().report;
+                } else {
+                    failed = true;
+                    error = res.status();
+                }
             } else {
-                failed = true;
-                error = res.status();
+                Engine engine(cfg);
+                engine.set_cancellation_token(token);
+                Result<Report> res = engine.run(job->problem);
+                if (res.ok()) {
+                    report = std::move(res).value();
+                } else {
+                    failed = true;
+                    error = res.status();
+                }
             }
         } else {
             run_sweep_job(*job, token, report, error, failed);

@@ -1,0 +1,270 @@
+// Unit tests for the lock-free SharedFactPool of
+// src/runtime/fact_exchange.h: per-cursor publish/import ordering,
+// duplicate suppression, capacity eviction with safe cursor jumps,
+// self-worker skipping, rejection of out-of-range/tautological facts,
+// binary canonicalisation -- and a two-thread publish/import stress run
+// that the CI ThreadSanitizer job uses to hunt data races.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/fact_exchange.h"
+#include "sat/types.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace bosphorus {
+namespace {
+
+using runtime::SharedFact;
+using runtime::SharedFactPool;
+using sat::mk_lit;
+
+std::vector<SharedFact> drain(const SharedFactPool& pool,
+                              SharedFactPool::Cursor& cur,
+                              unsigned self_worker) {
+    std::vector<SharedFact> out;
+    pool.import(cur, self_worker, out);
+    return out;
+}
+
+TEST(FactPool, PublishThenImportPreservesOrderAndContent) {
+    SharedFactPool pool(100, 64);
+    EXPECT_EQ(pool.capacity(), 64u);
+    EXPECT_EQ(pool.num_shared_vars(), 100u);
+
+    ASSERT_TRUE(pool.publish_unit(0, mk_lit(3, false)));
+    ASSERT_TRUE(pool.publish_unit(0, mk_lit(7, true)));
+    ASSERT_TRUE(pool.publish_binary(0, mk_lit(1, false), mk_lit(2, true)));
+
+    SharedFactPool::Cursor cur;
+    const std::vector<SharedFact> got = drain(pool, cur, /*self=*/1);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].kind, SharedFact::Kind::kUnit);
+    EXPECT_EQ(got[0].a, mk_lit(3, false));
+    EXPECT_EQ(got[0].worker, 0u);
+    EXPECT_EQ(got[1].a, mk_lit(7, true));
+    EXPECT_EQ(got[2].kind, SharedFact::Kind::kBinary);
+    // Canonicalised: sorted by raw literal value.
+    EXPECT_EQ(got[2].a, mk_lit(1, false));
+    EXPECT_EQ(got[2].b, mk_lit(2, true));
+
+    // The cursor consumed the stream; nothing arrives twice.
+    EXPECT_TRUE(drain(pool, cur, 1).empty());
+}
+
+TEST(FactPool, EachCursorGetsItsOwnFullStream) {
+    SharedFactPool pool(32, 64);
+    for (unsigned v = 0; v < 10; ++v)
+        ASSERT_TRUE(pool.publish_unit(0, mk_lit(v, v & 1)));
+
+    SharedFactPool::Cursor c1, c2;
+    EXPECT_EQ(drain(pool, c1, 1).size(), 10u);
+    EXPECT_EQ(drain(pool, c2, 2).size(), 10u);  // independent position
+    EXPECT_TRUE(drain(pool, c1, 1).empty());
+
+    // New publishes reach both cursors from where each left off.
+    ASSERT_TRUE(pool.publish_unit(0, mk_lit(20, false)));
+    EXPECT_EQ(drain(pool, c1, 1).size(), 1u);
+    EXPECT_EQ(drain(pool, c2, 2).size(), 1u);
+}
+
+TEST(FactPool, DuplicatePublishesAreSuppressed) {
+    SharedFactPool pool(32, 64);
+    EXPECT_TRUE(pool.publish_unit(0, mk_lit(5, false)));
+    // Same fact again -- from the same and from a different worker: the
+    // dedup key strips the worker, so both are duplicates.
+    EXPECT_FALSE(pool.publish_unit(0, mk_lit(5, false)));
+    EXPECT_FALSE(pool.publish_unit(3, mk_lit(5, false)));
+    // The complementary literal is a different fact.
+    EXPECT_TRUE(pool.publish_unit(0, mk_lit(5, true)));
+
+    EXPECT_TRUE(pool.publish_binary(0, mk_lit(1, false), mk_lit(2, false)));
+    // Same clause in swapped order is the same fact.
+    EXPECT_FALSE(pool.publish_binary(1, mk_lit(2, false), mk_lit(1, false)));
+
+    EXPECT_EQ(pool.published(), 3u);
+    EXPECT_EQ(pool.suppressed(), 3u);
+
+    SharedFactPool::Cursor cur;
+    EXPECT_EQ(drain(pool, cur, 9).size(), 3u);
+}
+
+TEST(FactPool, RejectsOutOfRangeAndTautologies) {
+    SharedFactPool pool(10, 64);
+    EXPECT_FALSE(pool.publish_unit(0, mk_lit(10, false)));  // var == bound
+    EXPECT_FALSE(pool.publish_unit(0, mk_lit(999, true)));
+    EXPECT_FALSE(pool.publish_binary(0, mk_lit(1, false), mk_lit(11, false)));
+    // Tautology (a | ~a) carries no information.
+    EXPECT_FALSE(pool.publish_binary(0, mk_lit(4, false), mk_lit(4, true)));
+    EXPECT_EQ(pool.published(), 0u);
+    EXPECT_EQ(pool.rejected(), 4u);
+
+    // Degenerate (a | a) collapses to the unit a.
+    EXPECT_TRUE(pool.publish_binary(0, mk_lit(4, false), mk_lit(4, false)));
+    SharedFactPool::Cursor cur;
+    const auto got = drain(pool, cur, 9);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].kind, SharedFact::Kind::kUnit);
+    EXPECT_EQ(got[0].a, mk_lit(4, false));
+}
+
+TEST(FactPool, ImportSkipsOwnFacts) {
+    SharedFactPool pool(32, 64);
+    ASSERT_TRUE(pool.publish_unit(1, mk_lit(0, false)));
+    ASSERT_TRUE(pool.publish_unit(2, mk_lit(1, false)));
+    ASSERT_TRUE(pool.publish_unit(1, mk_lit(2, false)));
+
+    SharedFactPool::Cursor cur;
+    const auto got = drain(pool, cur, /*self=*/1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].worker, 2u);
+    EXPECT_EQ(got[0].a, mk_lit(1, false));
+}
+
+TEST(FactPool, MaxFactsBoundsOneImportCall) {
+    SharedFactPool pool(64, 64);
+    for (unsigned v = 0; v < 10; ++v)
+        ASSERT_TRUE(pool.publish_unit(0, mk_lit(v, false)));
+    SharedFactPool::Cursor cur;
+    std::vector<SharedFact> out;
+    EXPECT_EQ(pool.import(cur, 1, out, 4), 4u);
+    EXPECT_EQ(pool.import(cur, 1, out, 100), 6u);
+    EXPECT_EQ(out.size(), 10u);
+    for (unsigned v = 0; v < 10; ++v) EXPECT_EQ(out[v].a, mk_lit(v, false));
+}
+
+TEST(FactPool, EvictionLosesOldFactsButNeverCorruptsImports) {
+    // Capacity rounds up to 64. Publish far past capacity with a stale
+    // cursor: the cursor must jump, imported facts must all be valid, and
+    // the newest `capacity` facts must all arrive.
+    SharedFactPool pool(SharedFactPool::kMaxSharedVars, 64);
+    const size_t kTotal = 500;
+    for (size_t i = 0; i < kTotal; ++i)
+        ASSERT_TRUE(pool.publish_unit(0, mk_lit(static_cast<sat::Var>(i),
+                                                false)));
+    EXPECT_EQ(pool.published(), kTotal);
+
+    SharedFactPool::Cursor stale;  // still at 0, 500-64 facts behind
+    const auto got = drain(pool, stale, 1);
+    ASSERT_EQ(got.size(), pool.capacity());
+    // Exactly the newest window, in publish order.
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].kind, SharedFact::Kind::kUnit);
+        EXPECT_EQ(got[i].a.var(), kTotal - pool.capacity() + i);
+    }
+    // Import-after-eviction is a stable position, not a one-off rescue.
+    ASSERT_TRUE(pool.publish_unit(0, mk_lit(1u << 20, true)));
+    const auto more = drain(pool, stale, 1);
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more[0].a, mk_lit(1u << 20, true));
+}
+
+TEST(FactPool, CapacityIsRoundedUpToAPowerOfTwoWithAFloor) {
+    EXPECT_EQ(SharedFactPool(8, 1).capacity(), 64u);
+    EXPECT_EQ(SharedFactPool(8, 64).capacity(), 64u);
+    EXPECT_EQ(SharedFactPool(8, 65).capacity(), 128u);
+    EXPECT_EQ(SharedFactPool(8, 1000).capacity(), 1024u);
+}
+
+TEST(FactPool, VarSpaceIsClampedToTheRepresentableBound) {
+    SharedFactPool pool(SIZE_MAX, 64);
+    EXPECT_EQ(pool.num_shared_vars(), SharedFactPool::kMaxSharedVars);
+    EXPECT_TRUE(pool.publish_unit(
+        0, mk_lit(SharedFactPool::kMaxSharedVars - 1, true)));
+    EXPECT_FALSE(
+        pool.publish_unit(0, mk_lit(SharedFactPool::kMaxSharedVars, true)));
+}
+
+// Two publishers and two importers hammering one pool -- the CI TSan
+// target. Two configurations:
+//  * a pool big enough that nothing is ever evicted: every cursor must
+//    receive EVERY foreign fact EXACTLY once;
+//  * a tiny pool churning through many evictions: delivery may be lossy
+//    (and, across a mid-publish wrap, very rarely duplicated), but every
+//    delivered fact must be well-formed and attributable to its
+//    publisher -- a torn read would surface as an alien variable/worker.
+struct StressSeen {
+    SharedFactPool::Cursor cursor;
+    std::vector<SharedFact> facts;
+};
+
+void run_stress(SharedFactPool& pool, size_t per_worker, StressSeen* s2,
+                StressSeen* s3) {
+    std::atomic<bool> go{false};
+    // Worker w publishes units over a private variable range, so any
+    // cross-talk or corruption is attributable.
+    auto publisher = [&](unsigned w) {
+        while (!go.load(std::memory_order_acquire)) {}
+        Rng rng(testutil::test_seed() * 7919 + w);
+        for (size_t i = 0; i < per_worker; ++i) {
+            const auto v = static_cast<sat::Var>((w << 14) | (i & 0x3FFF));
+            pool.publish_unit(w, mk_lit(v, rng.coin()));
+        }
+    };
+    auto importer = [&](unsigned self, StressSeen* seen) {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (int round = 0; round < 2000; ++round)
+            pool.import(seen->cursor, self, seen->facts);
+    };
+    std::thread t0(publisher, 0), t1(publisher, 1);
+    std::thread t2(importer, 2, s2), t3(importer, 3, s3);
+    go.store(true, std::memory_order_release);
+    t0.join();
+    t1.join();
+    t2.join();
+    t3.join();
+    // Publishers are done: one quiescent drain completes each stream.
+    pool.import(s2->cursor, 2, s2->facts);
+    pool.import(s3->cursor, 3, s3->facts);
+}
+
+void check_well_formed(const StressSeen& s, size_t per_worker) {
+    for (const SharedFact& f : s.facts) {
+        EXPECT_EQ(f.kind, SharedFact::Kind::kUnit);
+        ASSERT_LT(f.worker, 2u)
+            << "fact from a worker that never published -- torn read?";
+        // The variable must come from that worker's private range.
+        EXPECT_EQ(f.a.var() >> 14, f.worker);
+        EXPECT_LT(static_cast<size_t>(f.a.var() & 0x3FFF), per_worker);
+    }
+}
+
+TEST(FactPool, TwoThreadStressNoEvictionDeliversEverythingExactlyOnce) {
+    constexpr size_t kPerWorker = 4000;
+    SharedFactPool pool(1u << 16, 2 * kPerWorker);  // never wraps
+    StressSeen s2, s3;
+    run_stress(pool, kPerWorker, &s2, &s3);
+
+    EXPECT_EQ(pool.published(), 2 * kPerWorker);
+    for (const StressSeen* s : {&s2, &s3}) {
+        check_well_formed(*s, kPerWorker);
+        std::set<uint32_t> unique;
+        for (const SharedFact& f : s->facts)
+            EXPECT_TRUE(unique.insert(f.a.raw()).second)
+                << "fact delivered twice to one cursor without eviction";
+        EXPECT_EQ(s->facts.size(), 2 * kPerWorker)
+            << "a fact was lost although nothing was ever evicted";
+    }
+}
+
+TEST(FactPool, TwoThreadStressUnderEvictionDeliversOnlyPublishedFacts) {
+    constexpr size_t kPerWorker = 4000;
+    SharedFactPool pool(1u << 16, 128);  // churns through ~60 evict cycles
+    StressSeen s2, s3;
+    run_stress(pool, kPerWorker, &s2, &s3);
+
+    EXPECT_EQ(pool.published(), 2 * kPerWorker);
+    check_well_formed(s2, kPerWorker);
+    check_well_formed(s3, kPerWorker);
+    // Lossy, but the quiescent drain guarantees at least the last window.
+    EXPECT_GE(s2.facts.size() + s3.facts.size(), pool.capacity());
+}
+
+}  // namespace
+}  // namespace bosphorus

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "cnfgen/generators.h"
@@ -206,6 +207,140 @@ TEST(Solver, XorLongChainCutCorrectly) {
     for (int i = 0; i < 11; ++i) s.add_clause({neg(vars[i])});  // all 0
     ASSERT_EQ(s.solve(), Result::kSat);
     EXPECT_EQ(s.model()[vars[11]], LBool::kTrue);
+}
+
+// ---- XorEngine backtracking edges ----------------------------------------
+
+TEST(Solver, XorConstantsOnTrailAtAddTime) {
+    // add_xor does not fold the trail eagerly: variables already assigned
+    // at add time are evaluated lazily during propagation. Fix a=1 and
+    // b=0 via units *before* registering the row.
+    {
+        Solver::Config cfg;
+        cfg.enable_xor = true;
+        Solver s(cfg);
+        const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+        ASSERT_TRUE(s.add_clause({pos(a)}));
+        ASSERT_TRUE(s.add_clause({neg(b)}));
+        ASSERT_TRUE(s.add_xor({{a, b, c}, true}));
+        ASSERT_EQ(s.solve(), Result::kSat);
+        EXPECT_EQ(s.model()[c], LBool::kFalse);  // 1^0^c = 1 -> c = 0
+    }
+    // All variables of the row already assigned, wrong parity: the
+    // constraint is violated the moment it is registered.
+    {
+        Solver::Config cfg;
+        cfg.enable_xor = true;
+        Solver s(cfg);
+        const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+        ASSERT_TRUE(s.add_clause({pos(a)}));
+        ASSERT_TRUE(s.add_clause({neg(b)}));
+        ASSERT_TRUE(s.add_clause({neg(c)}));
+        s.add_xor({{a, b, c}, false});  // 1^0^0 = 1 != 0
+        EXPECT_EQ(s.solve(), Result::kUnsat);
+    }
+    // Same trail, right parity: satisfiable, values unchanged.
+    {
+        Solver::Config cfg;
+        cfg.enable_xor = true;
+        Solver s(cfg);
+        const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+        ASSERT_TRUE(s.add_clause({pos(a)}));
+        ASSERT_TRUE(s.add_clause({neg(b)}));
+        ASSERT_TRUE(s.add_clause({neg(c)}));
+        ASSERT_TRUE(s.add_xor({{a, b, c}, true}));
+        ASSERT_EQ(s.solve(), Result::kSat);
+        EXPECT_EQ(s.model()[a], LBool::kTrue);
+    }
+}
+
+TEST(Solver, XorFullyAssignedRowConflictsAtNonZeroLevel) {
+    // A 3-variable row survives the level-0 Gauss-Jordan pass (only
+    // weight <= 2 rows are rewritten into units/binaries), so the search
+    // must hit it as a *runtime* conflict: deciding e propagates d
+    // through the binary clauses, d floods a, b, c in one clause-
+    // propagation batch, and the XOR engine then finds the row fully
+    // assigned with wrong parity at a non-zero decision level.
+    Solver::Config cfg;
+    cfg.enable_xor = true;
+    Solver s(cfg);
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    const Var d = s.new_var(), e = s.new_var();
+    ASSERT_TRUE(s.add_xor({{a, b, c}, true}));
+    ASSERT_TRUE(s.add_clause({neg(d), pos(a)}));
+    ASSERT_TRUE(s.add_clause({neg(d), pos(b)}));
+    ASSERT_TRUE(s.add_clause({neg(d), neg(c)}));  // d -> parity(a,b,c) = 0
+    ASSERT_TRUE(s.add_clause({pos(d), pos(e)}));
+    ASSERT_TRUE(s.add_clause({pos(d), neg(e)}));  // ~d is contradictory
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, XorQheadSurvivesDeepBacktracksAcrossAssumptionSolves) {
+    // Every solve ends with a backtrack to level 0 and a qhead reset
+    // (set_qhead); re-solving under different assumptions must
+    // re-propagate the same rows from scratch. A stale qhead would skip
+    // trail entries and mispropagate the second call.
+    Solver::Config cfg;
+    cfg.enable_xor = true;
+    Solver s(cfg);
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    const Var x = s.new_var(), y = s.new_var();
+    ASSERT_TRUE(s.add_xor({{a, b, c}, true}));
+    ASSERT_TRUE(s.add_xor({{c, x, y}, false}));
+
+    ASSERT_EQ(s.solve_assuming({pos(a), pos(b), pos(x)}), Result::kSat);
+    EXPECT_EQ(s.model()[c], LBool::kTrue);   // 1^1^c = 1 -> c = 1
+    EXPECT_EQ(s.model()[y], LBool::kFalse);  // 1^1^y = 0 -> y = 0
+
+    ASSERT_EQ(s.solve_assuming({pos(a), neg(b), pos(x)}), Result::kSat);
+    EXPECT_EQ(s.model()[c], LBool::kFalse);  // 1^0^c = 1 -> c = 0
+    EXPECT_EQ(s.model()[y], LBool::kTrue);   // 0^1^y = 0 -> y = 1
+
+    // Contradictory assumptions (a=1, b=1 forces c=1): UNSAT under the
+    // assumptions only -- the solver itself stays healthy.
+    ASSERT_EQ(s.solve_assuming({pos(a), pos(b), neg(c)}), Result::kUnsat);
+    EXPECT_TRUE(s.okay());
+
+    // And a plain solve afterwards still works off the reset queue.
+    ASSERT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Solver, XorMixedRandomDifferentialAgainstBruteForce) {
+    // Random CNF+XOR instances through the native engine vs brute force:
+    // deep backtracks, full-row runtime conflicts, reason-clause
+    // materialisation and qhead resets all get exercised here.
+    const uint64_t base_seed = testutil::test_seed();
+    for (int inst = 0; inst < 30; ++inst) {
+        Rng rng(base_seed * 1000003 + inst * 797 + 13);
+        Cnf cnf = cnfgen::random_ksat(7, 12, 3, rng);
+        const size_t n_xors = 2 + rng.below(3);
+        for (size_t i = 0; i < n_xors; ++i) {
+            XorConstraint x;
+            const size_t len = 3 + rng.below(3);  // >= 3: survives GJ
+            for (size_t j = 0; j < len; ++j)
+                x.vars.push_back(static_cast<Var>(rng.below(cnf.num_vars)));
+            x.rhs = rng.coin();
+            cnf.xors.push_back(std::move(x));
+        }
+        const auto models = cnf_models(cnf);
+
+        Solver::Config scfg;
+        scfg.enable_xor = true;
+        Solver s(scfg);
+        const bool load_ok = s.load(cnf);
+        const Result r = load_ok ? s.solve() : Result::kUnsat;
+        if (models.empty()) {
+            EXPECT_EQ(r, Result::kUnsat) << "instance " << inst;
+        } else {
+            ASSERT_EQ(r, Result::kSat) << "instance " << inst;
+            uint32_t m = 0;
+            for (size_t v = 0; v < cnf.num_vars; ++v)
+                if (s.model()[v] == LBool::kTrue) m |= 1u << v;
+            EXPECT_TRUE(std::find(models.begin(), models.end(), m) !=
+                        models.end())
+                << "instance " << inst << " returned a non-model";
+        }
+    }
 }
 
 // ---- brute-force equivalence sweeps -------------------------------------

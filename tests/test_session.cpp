@@ -12,6 +12,7 @@
 
 #include "bosphorus/bosphorus.h"
 #include "cnfgen/generators.h"
+#include "test_util.h"
 
 namespace bosphorus {
 namespace {
@@ -51,7 +52,7 @@ struct SweepInstance {
 
 SweepInstance sweep_instance(uint64_t seed, size_t num_vars = 24,
                              size_t num_eqs = 40) {
-    Rng rng(seed);
+    Rng rng(testutil::test_seed() * 1000003 + seed);
     cnfgen::PlantedAnf inst =
         cnfgen::planted_quadratic_anf(num_vars, num_eqs, 3, 2, rng);
     return {Problem::from_anf(std::move(inst.polys), inst.num_vars),

@@ -3,12 +3,34 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "anf/polynomial.h"
 #include "sat/types.h"
 
 namespace bosphorus::testutil {
+
+/// The base seed randomized tests derive their RNG streams from:
+/// `fallback` unless the BOSPHORUS_TEST_SEED environment variable
+/// overrides it. The chosen seed is announced on stderr the first time it
+/// is read, so any failing log carries the line needed to reproduce the
+/// run (`BOSPHORUS_TEST_SEED=<n> ./test_...`).
+inline uint64_t test_seed(uint64_t fallback = 1) {
+    static const uint64_t seed = [fallback] {
+        uint64_t s = fallback;
+        if (const char* v = std::getenv("BOSPHORUS_TEST_SEED"))
+            s = std::strtoull(v, nullptr, 10);
+        std::fprintf(stderr,
+                     "c test seed: %llu (reproduce with "
+                     "BOSPHORUS_TEST_SEED=%llu)\n",
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(s));
+        return s;
+    }();
+    return seed;
+}
 
 /// All satisfying assignments of an ANF system (every polynomial == 0),
 /// brute-forced over num_vars <= ~20 variables. Assignments encoded as
