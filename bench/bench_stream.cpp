@@ -1,0 +1,197 @@
+// Streaming-preprocessor benchmark: generate a DIMACS file several times
+// larger than the configured memory budget, push it through
+// bosphorus::StreamPreprocessor, and report throughput and memory
+// behaviour.
+//
+// Checks, enforced with a nonzero exit code:
+//  * the pipeline's own accounted peak stays within the budget (the hard
+//    out-of-core guarantee; CI additionally runs the CLI under a ulimit
+//    address-space cap to bound *total* RSS);
+//  * the input really is at least 4x the budget (otherwise the run proves
+//    nothing);
+//  * on small instances, the streamed output is equisatisfiable with the
+//    input: a planted-SAT mixed instance must stay SAT and an UNSAT XOR
+//    cycle must stay UNSAT under the registered "cms" back-end.
+// Wall-clock throughput is reported, not enforced: timing noise on a
+// loaded CI box must not fail the build.
+//
+// Output is machine-readable JSON, printed to stdout and written to
+// BENCH_stream.json (override with BENCH_JSON_OUT). Knobs:
+// BENCH_STREAM_VARS (150000), BENCH_STREAM_CLAUSES (1700000),
+// BENCH_BUDGET_MB (8), BENCH_SEED (1).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bosphorus/bosphorus.h"
+#include "cnfgen/generators.h"
+#include "sat/dimacs.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bosphorus;
+
+namespace {
+
+size_t env_or(const char* name, size_t fallback) {
+    if (const char* v = std::getenv(name)) return std::strtoul(v, nullptr, 10);
+    return fallback;
+}
+
+/// Solve a DIMACS text with the registered cms-like back-end.
+sat::Result solve_text(const std::string& text) {
+    std::istringstream in(text);
+    const sat::Cnf cnf = sat::read_dimacs(in);
+    const auto so = sat::solve_cnf_with(cnf, "cms", 120.0);
+    return so.ok() ? so->result : sat::Result::kUnknown;
+}
+
+/// Equisatisfiability gate on one in-memory instance; returns true if the
+/// streamed output solves to `expected`.
+bool equisat_case(const char* name, const std::string& dimacs,
+                  sat::Result expected, uint64_t budget) {
+    StreamPreprocessConfig cfg;
+    cfg.memory_budget_bytes = budget;
+    StreamPreprocessor pp(cfg);
+    std::string out_text;
+    const auto stats = pp.run_text(dimacs, &out_text);
+    if (!stats.ok()) {
+        std::fprintf(stderr, "equisat %s: %s\n", name,
+                     stats.status().to_string().c_str());
+        return false;
+    }
+    const sat::Result got = stats->verdict == sat::Result::kUnsat
+                                ? sat::Result::kUnsat
+                                : solve_text(out_text);
+    if (got != expected) {
+        std::fprintf(stderr, "equisat %s: expected %d, got %d\n", name,
+                     static_cast<int>(expected), static_cast<int>(got));
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main() {
+    const uint64_t n_vars = env_or("BENCH_STREAM_VARS", 150000);
+    const uint64_t n_clauses = env_or("BENCH_STREAM_CLAUSES", 1700000);
+    const uint64_t budget_mb = env_or("BENCH_BUDGET_MB", 8);
+    const uint64_t budget = budget_mb << 20;
+    const auto seed = static_cast<uint64_t>(env_or("BENCH_SEED", 1));
+    const char* json_path = std::getenv("BENCH_JSON_OUT");
+    if (!json_path) json_path = "BENCH_stream.json";
+
+    const std::string in_path = "bench_stream_input.tmp.cnf";
+    const std::string out_path = "bench_stream_output.tmp.cnf";
+
+    // --- generate the over-budget input (O(1) memory itself) --------------
+    {
+        cnfgen::StreamDimacs gen;
+        gen.num_vars = n_vars;
+        gen.num_clauses = n_clauses;
+        Rng rng(seed);
+        std::ofstream out(in_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", in_path.c_str());
+            return 1;
+        }
+        cnfgen::write_stream_dimacs(out, gen, rng);
+    }
+
+    // --- the streamed run --------------------------------------------------
+    StreamPreprocessConfig cfg;
+    cfg.memory_budget_bytes = budget;
+    StreamPreprocessor pp(cfg);
+    const Timer timer;
+    const auto stats = pp.run(in_path, out_path);
+    if (!stats.ok()) {
+        std::fprintf(stderr, "stream run failed: %s\n",
+                     stats.status().to_string().c_str());
+        return 1;
+    }
+    const double wall_s = timer.seconds();
+    const double mb_in = static_cast<double>(stats->bytes_in) / (1u << 20);
+    const double throughput = wall_s > 0 ? mb_in / wall_s : 0.0;
+    std::printf("%s\n", stream_summary_line(*stats).c_str());
+
+    bool ok = true;
+    if (stats->bytes_in < 4 * budget) {
+        std::fprintf(stderr,
+                     "input too small: %llu bytes < 4x budget (%llu)\n",
+                     static_cast<unsigned long long>(stats->bytes_in),
+                     static_cast<unsigned long long>(4 * budget));
+        ok = false;
+    }
+    if (stats->peak_accounted_bytes > budget) {
+        std::fprintf(stderr,
+                     "accounted peak %llu exceeds budget %llu\n",
+                     static_cast<unsigned long long>(
+                         stats->peak_accounted_bytes),
+                     static_cast<unsigned long long>(budget));
+        ok = false;
+    }
+
+    // --- small-instance equisatisfiability gates ---------------------------
+    bool equisat_sat = false, equisat_unsat = false;
+    {
+        cnfgen::StreamDimacs gen;
+        gen.num_vars = 150;
+        gen.num_clauses = 900;
+        Rng rng(seed + 17);
+        std::ostringstream text;
+        cnfgen::write_stream_dimacs(text, gen, rng);
+        equisat_sat = equisat_case("planted-sat", text.str(),
+                                   sat::Result::kSat, 1u << 20);
+    }
+    {
+        Rng rng(seed + 31);
+        const sat::Cnf cnf = cnfgen::xor_cycle(30, /*satisfiable=*/false, rng);
+        std::ostringstream text;
+        sat::write_dimacs(text, cnf);
+        equisat_unsat = equisat_case("xorcycle-unsat", text.str(),
+                                     sat::Result::kUnsat, 1u << 20);
+    }
+    ok = ok && equisat_sat && equisat_unsat;
+
+    // --- JSON ---------------------------------------------------------------
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"stream\",\n"
+         << "  \"vars\": " << n_vars << ",\n"
+         << "  \"clauses\": " << n_clauses << ",\n"
+         << "  \"budget_bytes\": " << budget << ",\n"
+         << "  \"bytes_in\": " << stats->bytes_in << ",\n"
+         << "  \"bytes_out\": " << stats->bytes_out << ",\n"
+         << "  \"seconds\": " << stats->seconds << ",\n"
+         << "  \"throughput_mb_per_s\": " << throughput << ",\n"
+         << "  \"peak_rss_bytes\": " << stats->peak_rss_bytes << ",\n"
+         << "  \"peak_accounted_bytes\": " << stats->peak_accounted_bytes
+         << ",\n"
+         << "  \"clauses_in\": " << stats->clauses_in << ",\n"
+         << "  \"clauses_out\": " << stats->clauses_out << ",\n"
+         << "  \"xors_recovered\": " << stats->xors_recovered << ",\n"
+         << "  \"xors_out\": " << stats->xors_out << ",\n"
+         << "  \"units_fixed\": " << stats->units_fixed << ",\n"
+         << "  \"pure_fixed\": " << stats->pure_fixed << ",\n"
+         << "  \"equivs_merged\": " << stats->equivs_merged << ",\n"
+         << "  \"bve_eliminated\": " << stats->bve_eliminated << ",\n"
+         << "  \"windows\": " << stats->windows << ",\n"
+         << "  \"equisat_sat_ok\": " << (equisat_sat ? "true" : "false")
+         << ",\n"
+         << "  \"equisat_unsat_ok\": " << (equisat_unsat ? "true" : "false")
+         << ",\n"
+         << "  \"within_budget\": "
+         << (stats->peak_accounted_bytes <= budget ? "true" : "false") << "\n"
+         << "}\n";
+    std::fputs(json.str().c_str(), stdout);
+    std::ofstream jf(json_path);
+    jf << json.str();
+
+    std::remove(in_path.c_str());
+    std::remove(out_path.c_str());
+    return ok ? 0 : 1;
+}

@@ -30,12 +30,13 @@
 #include "bosphorus/session.h"     // IWYU pragma: export
 #include "bosphorus/solve.h"       // IWYU pragma: export
 #include "bosphorus/status.h"      // IWYU pragma: export
+#include "bosphorus/stream.h"      // IWYU pragma: export
 #include "bosphorus/technique.h"   // IWYU pragma: export
 
 /// Library major version; bumped on breaking public-API changes.
 #define BOSPHORUS_VERSION_MAJOR 0
 /// Library minor version; bumped per feature release (one per PR train).
-#define BOSPHORUS_VERSION_MINOR 5
+#define BOSPHORUS_VERSION_MINOR 6
 
 namespace bosphorus {
 

@@ -1,0 +1,186 @@
+/// \file
+/// Out-of-core streaming CNF preprocessing: parse -> XOR recovery ->
+/// simplify -> re-emit over DIMACS files arbitrarily larger than memory.
+///
+/// `StreamPreprocessor` runs the paper's CNF-side preprocessing direction
+/// (recover GF(2)/XOR structure from CNF, simplify, re-emit a stronger
+/// CNF) as a bounded-memory pipeline:
+///
+///  1. *Discovery rounds* (streaming, O(vars) state): top-level unit
+///     propagation, pure-literal detection and equivalent-literal
+///     substitution through a parity union-find, fed by unit clauses,
+///     complementary binary-clause pairs and short XOR lines.
+///  2. *Window pass*: clauses stream through bounded windows sized from
+///     `memory_budget_bytes`; each window is remapped to a dense local
+///     variable space and fed through the existing `recover_xors` ->
+///     GF(2) elimination (the gf2 kernel shared with the ANF pipeline) ->
+///     SatELite-style `Preprocessor` machinery (subsumption,
+///     self-subsuming resolution, and bounded variable elimination
+///     restricted to variables whose every occurrence is inside the
+///     window).
+///  3. *Re-emit*: surviving clauses, recovered XOR rows and all global
+///     facts stream to the output file, whose "p cnf" header is patched
+///     back in place once the final counts are known.
+///
+/// The output is equisatisfiable with the input (logically equivalent
+/// except where bounded variable elimination fired; disable
+/// `window_bve` for a model-preserving run). A refutation found during
+/// preprocessing short-circuits: the output is a trivially UNSAT formula
+/// and `StreamPreprocessStats::verdict` says so.
+///
+/// \code
+///   bosphorus::StreamPreprocessConfig cfg;
+///   cfg.memory_budget_bytes = 64 << 20;
+///   bosphorus::StreamPreprocessor pp(cfg);
+///   auto stats = pp.run("huge.cnf", "huge.out.cnf");
+///   if (!stats.ok()) { /* stats.status() says why */ }
+/// \endcode
+///
+/// Thread safety: a StreamPreprocessor instance is single-threaded; use
+/// one instance per concurrent run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bosphorus/status.h"
+#include "runtime/cancellation.h"
+#include "sat/types.h"
+
+namespace bosphorus {
+
+/// Which stage of the pipeline a progress callback reports from.
+enum class StreamPhase : uint8_t {
+    kDiscover,  ///< a streaming fact-discovery round (units/equivalences)
+    kCount,     ///< the occurrence/polarity counting round
+    kWindow,    ///< the windowed simplify + re-emit pass
+};
+
+/// Snapshot handed to StreamPreprocessConfig::on_progress.
+struct StreamProgress {
+    StreamPhase phase = StreamPhase::kDiscover;  ///< current pipeline stage
+    uint64_t round = 0;        ///< 1-based discovery round (kDiscover only)
+    uint64_t bytes_read = 0;   ///< bytes consumed from the input this pass
+    uint64_t bytes_total = 0;  ///< input file size (0 if unknown)
+    uint64_t clauses_seen = 0; ///< clauses consumed this pass
+    uint64_t windows_flushed = 0;  ///< windows completed (kWindow only)
+};
+
+/// Knobs of the streaming preprocessor.
+struct StreamPreprocessConfig {
+    /// Hard memory target for the pipeline's own data structures (chunk
+    /// buffers, O(vars) global state, the clause window and its working
+    /// copies). Window sizing is derived from what is left after the
+    /// fixed O(vars) state; if that state alone exceeds the budget the
+    /// run fails with kInvalidArgument instead of silently overshooting.
+    uint64_t memory_budget_bytes = 64ull << 20;
+
+    /// Bytes per read chunk (clamped to [4 KiB, memory_budget_bytes/8]).
+    uint64_t read_chunk_bytes = 1 << 20;
+
+    /// Streaming fact-discovery rounds before the window pass (0 = skip;
+    /// each round is one sequential scan of the input). Rounds stop early
+    /// once a scan learns nothing new.
+    int discovery_rounds = 2;
+
+    /// Maximum XOR length `recover_xors` searches for inside a window.
+    uint64_t xor_max_len = 4;
+
+    /// Enable bounded variable elimination inside windows (restricted to
+    /// variables whose every occurrence is in the window). BVE makes the
+    /// output equisatisfiable but not model-preserving; disable it to
+    /// keep the model set of the input (over the input's variables).
+    bool window_bve = true;
+
+    /// Sweeps of (subsume, eliminate) per window (Preprocessor passes).
+    int window_passes = 2;
+
+    /// Re-emit recovered/input XOR constraints as CryptoMiniSat-style
+    /// "x" lines (understood by this library's readers and CMS-like
+    /// back-ends). When false they are expanded to plain clauses, so the
+    /// output is consumable by any DIMACS solver.
+    bool emit_xor_lines = true;
+
+    /// Invoked periodically (every `progress_interval_clauses` clauses
+    /// and at every phase transition). May be empty. Called from the
+    /// run() thread.
+    std::function<void(const StreamProgress&)> on_progress;
+
+    /// Clause granularity of progress callbacks and cancellation polls.
+    uint64_t progress_interval_clauses = 1 << 16;
+
+    /// Cooperative cancellation: polled at the progress cadence; a
+    /// cancelled run returns kInterrupted (the partial output file is
+    /// left behind and is NOT a valid preprocessing of the input).
+    runtime::CancellationToken cancel;
+};
+
+/// Counters and outcome of one streaming preprocessing run.
+struct StreamPreprocessStats {
+    uint64_t bytes_in = 0;          ///< input file size in bytes
+    uint64_t bytes_out = 0;         ///< bytes written to the output
+    uint64_t num_vars_in = 0;       ///< variables in the input (header/grown)
+    uint64_t num_vars_out = 0;      ///< variables in the output header
+    uint64_t clauses_in = 0;        ///< clauses read in the window pass
+    uint64_t clauses_out = 0;       ///< clauses written (incl. fact units)
+    uint64_t xors_in = 0;           ///< native "x" lines in the input
+    uint64_t xors_recovered = 0;    ///< XORs recovered from clause windows
+    uint64_t xors_out = 0;          ///< XOR rows re-emitted
+    uint64_t units_fixed = 0;       ///< variables fixed by unit reasoning
+    uint64_t xor_units = 0;         ///< ... of which from GF(2) elimination
+    uint64_t pure_fixed = 0;        ///< variables fixed as pure literals
+    uint64_t equivs_merged = 0;     ///< variables merged into a class rep
+    uint64_t tautologies_dropped = 0;  ///< tautological clauses dropped
+    uint64_t duplicates_dropped = 0;   ///< duplicate clauses dropped
+    uint64_t satisfied_dropped = 0;    ///< clauses satisfied by fixed vars
+    uint64_t subsumed = 0;          ///< clauses removed by subsumption
+    uint64_t strengthened = 0;      ///< literals removed by self-subsumption
+    uint64_t bve_eliminated = 0;    ///< variables removed by windowed BVE
+    uint64_t windows = 0;           ///< clause windows processed
+    uint64_t discovery_rounds_run = 0;  ///< discovery scans performed
+    uint64_t peak_accounted_bytes = 0;  ///< pipeline high-water byte account
+    uint64_t peak_rss_bytes = 0;    ///< process VmHWM after the run (0: n/a)
+    double seconds = 0.0;           ///< wall-clock time of run()
+    /// kUnsat if preprocessing refuted the formula (the output is then a
+    /// trivially UNSAT CNF); kUnknown otherwise. Never kSat.
+    sat::Result verdict = sat::Result::kUnknown;
+};
+
+/// One-line human/machine-greppable summary of a run ("c stream: ...");
+/// shared by the CLI and the cnf_preprocess example so the two cannot
+/// drift apart.
+std::string stream_summary_line(const StreamPreprocessStats& stats);
+
+/// The streaming preprocessor facade. Construct with a config, then run()
+/// over file paths (or in-memory text for tests/small inputs).
+class StreamPreprocessor {
+public:
+    /// Build a preprocessor with default knobs.
+    StreamPreprocessor() : StreamPreprocessor(StreamPreprocessConfig{}) {}
+    /// Build a preprocessor with explicit knobs.
+    explicit StreamPreprocessor(StreamPreprocessConfig cfg)
+        : cfg_(std::move(cfg)) {}
+
+    /// Preprocess `input_path` into `output_path` (overwritten). The input
+    /// is scanned several times sequentially (discovery/count/window
+    /// passes), so it must be a regular file; peak memory is bounded by
+    /// the configured budget regardless of file size. On kUnsat the
+    /// output is a valid, trivially UNSAT DIMACS file.
+    Result<StreamPreprocessStats> run(const std::string& input_path,
+                                      const std::string& output_path);
+
+    /// As run(), but over an in-memory DIMACS string, appending the
+    /// output to `*output_text` (cleared first). `output_text` must not
+    /// be null. Intended for tests and small inputs.
+    Result<StreamPreprocessStats> run_text(const std::string& input_text,
+                                           std::string* output_text);
+
+    /// The configuration this instance runs with.
+    const StreamPreprocessConfig& config() const { return cfg_; }
+
+private:
+    StreamPreprocessConfig cfg_;
+};
+
+}  // namespace bosphorus

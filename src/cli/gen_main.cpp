@@ -9,6 +9,11 @@
 //   bosphorus_gen ksat    --vars 100 --clauses 426 --out f.cnf
 //   bosphorus_gen php     --holes 8 --out f.cnf
 //   bosphorus_gen xorcycle --len 50 --unsat --out f.cnf
+//   bosphorus_gen dimacs  --vars 100000 --clauses 5000000 --out f.cnf
+//
+// The `dimacs` family (also spelled `--dimacs`) streams its output in O(1)
+// memory, so it can produce files far larger than RAM -- it feeds the
+// out-of-core preprocessor's tests and CI smoke job.
 //
 // All generators take --seed N (default 1).
 #include <cstdio>
@@ -38,6 +43,9 @@ int usage() {
         "  ksat     --vars N --clauses M [--k K]         random k-SAT\n"
         "  php      --holes H                            pigeonhole\n"
         "  xorcycle --len N [--unsat]                    XOR cycle\n"
+        "  dimacs   --vars N --clauses M [--k K] [--xor-pct P]\n"
+        "           [--xor-len L] [--no-plant]   streamed mixed DIMACS,\n"
+        "           O(1) memory, SAT by construction unless --no-plant\n"
         "common:    --seed S --out FILE (default stdout)\n");
     return 2;
 }
@@ -50,10 +58,13 @@ int main(int argc, char** argv) {
 
     std::map<std::string, std::string> opts;
     bool unsat = false;
+    bool no_plant = false;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--unsat") {
             unsat = true;
+        } else if (a == "--no-plant") {
+            no_plant = true;
         } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
             opts[a.substr(2)] = argv[++i];
         } else {
@@ -114,6 +125,19 @@ int main(int argc, char** argv) {
         } else if (family == "xorcycle") {
             sat::write_dimacs(
                 *out, cnfgen::xor_cycle(get("len", 50), !unsat, rng));
+        } else if (family == "dimacs" || family == "--dimacs") {
+            cnfgen::StreamDimacs cfg;
+            cfg.num_vars = static_cast<uint64_t>(get("vars", 10000));
+            cfg.num_clauses = static_cast<uint64_t>(get("clauses", 50000));
+            cfg.k = static_cast<unsigned>(get("k", 3));
+            cfg.xor_percent = static_cast<unsigned>(get("xor-pct", 10));
+            cfg.xor_len = static_cast<unsigned>(get("xor-len", 3));
+            cfg.unit_percent = static_cast<unsigned>(get("unit-pct", 1));
+            cfg.duplicate_percent = static_cast<unsigned>(get("dup-pct", 2));
+            cfg.comment_every =
+                static_cast<unsigned>(get("comment-every", 10000));
+            cfg.plant = !no_plant;
+            cnfgen::write_stream_dimacs(*out, cfg, rng);
         } else {
             return usage();
         }

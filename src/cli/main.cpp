@@ -12,6 +12,7 @@
 // bosphorus::Problem, the learning loop is a bosphorus::Engine, and all
 // failures arrive as structured Status values instead of exceptions.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +41,20 @@ void usage() {
         "usage:\n"
         "  bosphorus --anf FILE   [options]   process an ANF problem\n"
         "  bosphorus --cnfin FILE [options]   process a CNF problem\n"
+        "  bosphorus --stream-preprocess IN OUT [options]\n"
+        "                  out-of-core CNF preprocessing: stream IN through\n"
+        "                  XOR recovery + simplification into OUT under a\n"
+        "                  hard memory budget (IN may far exceed RAM)\n"
+        "\n"
+        "streaming options:\n"
+        "  --memory-budget N[K|M|G]  pipeline memory target (default 64M)\n"
+        "  --stream-xor-len N   max XOR length recovered per window (4)\n"
+        "  --stream-rounds N    fact-discovery scans before the window\n"
+        "                       pass (2)\n"
+        "  --stream-no-bve      disable windowed variable elimination\n"
+        "                       (output then preserves the model set)\n"
+        "  --stream-plain-cnf   expand XORs to clauses instead of \"x\"\n"
+        "                       lines (output fit for any DIMACS solver)\n"
         "\n"
         "output:\n"
         "  --cnf FILE      write processed CNF (with learnt facts)\n"
@@ -94,6 +109,58 @@ void usage() {
 int fail(const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
     return 2;
+}
+
+/// Parse "64M" / "512K" / "2G" / "1048576" into bytes. Throws
+/// std::invalid_argument (caught by main's backstop) on malformed input.
+uint64_t parse_bytes(const std::string& text) {
+    size_t pos = 0;
+    const unsigned long long n = std::stoull(text, &pos);
+    uint64_t mult = 1;
+    if (pos < text.size()) {
+        const char suffix = static_cast<char>(std::toupper(text[pos]));
+        if (suffix == 'K') mult = 1ull << 10;
+        else if (suffix == 'M') mult = 1ull << 20;
+        else if (suffix == 'G') mult = 1ull << 30;
+        else throw std::invalid_argument("bad size suffix in '" + text + "'");
+        if (pos + 1 < text.size() &&
+            !(pos + 2 == text.size() && std::toupper(text[pos + 1]) == 'B'))
+            throw std::invalid_argument("bad size '" + text + "'");
+    }
+    return n * mult;
+}
+
+/// `--stream-preprocess IN OUT`: run the out-of-core pipeline and report
+/// its counters; exit 20 if preprocessing refuted the formula.
+int run_stream_preprocess(const std::string& in_path,
+                          const std::string& out_path,
+                          const StreamPreprocessConfig& cfg, int verbosity) {
+    StreamPreprocessConfig run_cfg = cfg;
+    if (verbosity > 0) {
+        run_cfg.on_progress = [](const StreamProgress& p) {
+            const char* phase = p.phase == StreamPhase::kDiscover ? "discover"
+                                : p.phase == StreamPhase::kCount  ? "count"
+                                                                  : "window";
+            std::fprintf(stderr,
+                         "c stream: %s round=%llu %llu/%llu bytes, "
+                         "%llu clauses, %llu windows\r",
+                         phase, static_cast<unsigned long long>(p.round),
+                         static_cast<unsigned long long>(p.bytes_read),
+                         static_cast<unsigned long long>(p.bytes_total),
+                         static_cast<unsigned long long>(p.clauses_seen),
+                         static_cast<unsigned long long>(p.windows_flushed));
+        };
+    }
+    StreamPreprocessor pp(run_cfg);
+    const Result<StreamPreprocessStats> stats = pp.run(in_path, out_path);
+    if (verbosity > 0) std::fputc('\n', stderr);
+    if (!stats.ok()) return fail(stats.status());
+    std::printf("%s\n", stream_summary_line(*stats).c_str());
+    if (stats->verdict == sat::Result::kUnsat) {
+        std::puts("s UNSATISFIABLE");
+        return 20;
+    }
+    return 0;
 }
 
 const char* verdict_name(sat::Result r) {
@@ -153,6 +220,8 @@ int run(int argc, char** argv) {
     std::string anf_in, cnf_in, cnf_out, anf_out;
     std::string solver_name = sat::kDefaultSolverName;
     std::string assume_file, sweep_file;
+    std::string stream_in, stream_out;
+    StreamPreprocessConfig stream_cfg;
     bool solve_after = false;
     bool batch_mode = false;
     bool portfolio_mode = false;
@@ -170,6 +239,18 @@ int run(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--anf") anf_in = next();
+        else if (a == "--stream-preprocess") {
+            stream_in = next();
+            stream_out = next();
+        }
+        else if (a == "--memory-budget")
+            stream_cfg.memory_budget_bytes = parse_bytes(next());
+        else if (a == "--stream-xor-len")
+            stream_cfg.xor_max_len = std::stoull(next());
+        else if (a == "--stream-rounds")
+            stream_cfg.discovery_rounds = std::stoi(next());
+        else if (a == "--stream-no-bve") stream_cfg.window_bve = false;
+        else if (a == "--stream-plain-cnf") stream_cfg.emit_xor_lines = false;
         else if (a == "--version") {
             std::printf("bosphorus %s (DATE'19 reproduction)\n", version());
             return 0;
@@ -236,6 +317,18 @@ int run(int argc, char** argv) {
             return 2;
         }
         return run_batch(batch_files, opt, n_threads);
+    }
+    if (!stream_in.empty()) {
+        if (!anf_in.empty() || !cnf_in.empty() || solve_after ||
+            portfolio_mode || !cnf_out.empty() || !anf_out.empty() ||
+            !assume_file.empty() || !sweep_file.empty()) {
+            std::fprintf(stderr,
+                         "--stream-preprocess is a standalone mode (only "
+                         "--memory-budget / --stream-* / -v apply)\n");
+            return 2;
+        }
+        return run_stream_preprocess(stream_in, stream_out, stream_cfg,
+                                     opt.verbosity);
     }
     if (anf_in.empty() == cnf_in.empty()) {
         usage();

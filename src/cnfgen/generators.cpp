@@ -1,7 +1,9 @@
 #include "cnfgen/generators.h"
 
 #include <algorithm>
+#include <ostream>
 #include <set>
+#include <string>
 
 namespace bosphorus::cnfgen {
 
@@ -184,6 +186,111 @@ Cnf graph_coloring(size_t num_vertices, size_t num_edges, unsigned colors,
             cnf.add_clause({mk_lit(col(a, c), true), mk_lit(col(b, c), true)});
     }
     return cnf;
+}
+
+void write_stream_dimacs(std::ostream& out, const StreamDimacs& cfg,
+                         Rng& rng) {
+    const uint64_t nv = std::max<uint64_t>(cfg.num_vars, 1);
+    const unsigned k =
+        static_cast<unsigned>(std::min<uint64_t>(std::max(1u, cfg.k), nv));
+    const unsigned xlen = static_cast<unsigned>(
+        std::min<uint64_t>(std::max(2u, std::min(cfg.xor_len, 10u)), nv));
+    const uint64_t group = 1ull << (xlen - 1);  // clauses per XOR encoding
+
+    // Hidden assignment every emitted constraint is consistent with.
+    // Re-derivable in O(1) memory per variable: bit v of the planted model
+    // is splitmix-style hashed from a per-file key drawn up front.
+    const uint64_t plant_key = rng.next();
+    auto planted = [&](Var v) {
+        uint64_t z = plant_key + 0x9E3779B97F4A7C15ull * (v + 1);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return ((z ^ (z >> 31)) & 1) != 0;
+    };
+
+    out << "p cnf " << nv << ' ' << cfg.num_clauses << '\n';
+
+    std::vector<Var> vars;
+    std::vector<Lit> prev;
+    std::string line;
+    uint64_t emitted = 0;
+    uint64_t slot = 0;
+    auto put_clause = [&](const std::vector<Lit>& c) {
+        line.clear();
+        for (const Lit l : c) {
+            line += std::to_string(l.to_dimacs());
+            line += ' ';
+        }
+        line += "0\n";
+        out << line;
+        ++emitted;
+    };
+    auto draw_vars = [&](unsigned n) {
+        vars.clear();
+        while (vars.size() < n) {
+            const Var v = static_cast<Var>(rng.below(nv));
+            if (std::find(vars.begin(), vars.end(), v) == vars.end())
+                vars.push_back(v);
+        }
+    };
+
+    while (emitted < cfg.num_clauses) {
+        ++slot;
+        if (cfg.comment_every && slot % cfg.comment_every == 0)
+            out << "c slot " << slot << '\n';
+
+        const uint64_t roll = rng.below(100);
+        const uint64_t left = cfg.num_clauses - emitted;
+        if (roll < cfg.xor_percent && left >= group) {
+            // Full XOR-encoding group: all wrong-parity sign patterns over
+            // one variable set -- exactly what recover_xors reassembles.
+            draw_vars(xlen);
+            bool rhs = cfg.plant;  // planted parity; else fixed rhs = true
+            if (cfg.plant) {
+                rhs = false;
+                for (const Var v : vars) rhs ^= planted(v);
+            }
+            std::vector<Lit> c(xlen);
+            for (uint64_t bits = 0; bits < (1ull << xlen); ++bits) {
+                bool parity = false;
+                for (unsigned i = 0; i < xlen; ++i)
+                    parity ^= (bits >> i) & 1;
+                if (parity == rhs) continue;  // right parity: allowed row
+                for (unsigned i = 0; i < xlen; ++i)
+                    c[i] = mk_lit(vars[i], ((bits >> i) & 1) != 0);
+                put_clause(c);
+            }
+            continue;
+        }
+        if (roll < cfg.xor_percent + cfg.unit_percent) {
+            const Var v = static_cast<Var>(rng.below(nv));
+            const bool neg = cfg.plant ? !planted(v) : rng.coin();
+            put_clause({mk_lit(v, neg)});
+            continue;
+        }
+        if (roll < cfg.xor_percent + cfg.unit_percent +
+                       cfg.duplicate_percent &&
+            !prev.empty()) {
+            put_clause(prev);
+            continue;
+        }
+        draw_vars(k);
+        std::vector<Lit> c;
+        c.reserve(k);
+        bool sat_under_plant = false;
+        for (const Var v : vars) {
+            const bool neg = rng.coin();
+            if (cfg.plant && planted(v) != neg) sat_under_plant = true;
+            c.push_back(mk_lit(v, neg));
+        }
+        if (cfg.plant && !sat_under_plant) {
+            // Flip one literal so the planted assignment satisfies it.
+            const size_t i = static_cast<size_t>(rng.below(c.size()));
+            c[i] = ~c[i];
+        }
+        put_clause(c);
+        prev = c;
+    }
 }
 
 std::vector<SuiteInstance> sat2017_substitute_suite(unsigned scale,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,34 @@ sat::Cnf tseitin_expander(size_t vertices, bool satisfiable, Rng& rng);
 /// edges, `colors` colours (one-hot encoding with at-most-one clauses).
 sat::Cnf graph_coloring(size_t num_vertices, size_t num_edges,
                         unsigned colors, Rng& rng);
+
+/// Configuration of the O(1)-memory streaming DIMACS generator feeding the
+/// out-of-core preprocessor tests and benchmarks.
+struct StreamDimacs {
+    uint64_t num_vars = 1000;     ///< variables declared in the header
+    uint64_t num_clauses = 10000; ///< clause lines written (header-exact)
+    unsigned k = 3;               ///< literals per random clause
+    /// Percentage of constraint slots spent starting full XOR-encoding
+    /// groups (each consumes 2^(xor_len-1) clause slots), giving the
+    /// streaming XOR recovery something to find.
+    unsigned xor_percent = 10;
+    unsigned xor_len = 3;         ///< variables per planted XOR group
+    unsigned unit_percent = 1;    ///< percentage of slots that are units
+    unsigned duplicate_percent = 2;  ///< slots repeating the previous clause
+    unsigned comment_every = 0;   ///< a comment line every N slots (0 = off)
+    /// Plant a hidden assignment every clause/XOR group is consistent with,
+    /// making the instance SAT by construction (equisatisfiability gates in
+    /// CI then expect SAT on both sides). When false clauses are uniform
+    /// random, so large instances are almost surely UNSAT.
+    bool plant = true;
+};
+
+/// Stream a DIMACS file clause-by-clause: memory use is O(k + xor_len)
+/// regardless of `num_clauses`, and the "p cnf" header is exact (the
+/// constraint mix is budgeted, never truncated). Deterministic in (cfg,
+/// rng state).
+void write_stream_dimacs(std::ostream& out, const StreamDimacs& cfg,
+                         Rng& rng);
 
 /// A named instance of the generated competition-substitute suite.
 struct SuiteInstance {

@@ -1,80 +1,47 @@
 #include "sat/dimacs.h"
 
-#include <cstdlib>
+#include <algorithm>
 #include <sstream>
+
+#include "stream/dimacs_tokenizer.h"
 
 namespace bosphorus::sat {
 
-namespace {
-
-/// Convert a signed DIMACS literal to an internal Lit, growing num_vars.
-Lit lit_from_dimacs(long dl, size_t& num_vars) {
-    const unsigned long v = static_cast<unsigned long>(dl < 0 ? -dl : dl);
-    if (v == 0) throw DimacsError("literal 0 inside clause body");
-    if (v > num_vars) num_vars = v;
-    return mk_lit(static_cast<Var>(v - 1), dl < 0);
-}
-
-}  // namespace
-
-Cnf read_dimacs(std::istream& in) {
+::bosphorus::Result<Cnf> try_read_dimacs(std::istream& in) {
+    stream::IstreamByteSource src(in);
+    stream::DimacsTokenizer tok(src, {.chunk_bytes = 64 * 1024});
     Cnf cnf;
-    std::string line;
-    bool header_seen = false;
-    size_t declared_vars = 0;
-    while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        const size_t first = line.find_first_not_of(" \t\r");
-        if (first == std::string::npos) continue;
-        const char c0 = line[first];
-        if (c0 == 'c') continue;
-        if (c0 == 'p') {
-            std::istringstream hs(line.substr(first + 1));
-            std::string fmt;
-            long nv = 0, nc = 0;
-            hs >> fmt >> nv >> nc;
-            if (fmt != "cnf") throw DimacsError("expected 'p cnf' header");
-            declared_vars = static_cast<size_t>(nv);
-            header_seen = true;
-            continue;
-        }
-        const bool is_xor = (c0 == 'x');
-        std::istringstream ls(line.substr(is_xor ? first + 1 : first));
-        long dl;
-        if (is_xor) {
-            XorConstraint x;
-            x.rhs = true;  // literals XOR to true
-            while (ls >> dl && dl != 0) {
-                const Lit l = lit_from_dimacs(dl, cnf.num_vars);
-                // lit = var ^ sign; folding the sign into the rhs.
-                x.vars.push_back(l.var());
-                if (l.sign()) x.rhs = !x.rhs;
-            }
-            cnf.xors.push_back(std::move(x));
-        } else {
-            std::vector<Lit> clause;
-            while (ls >> dl && dl != 0) {
-                clause.push_back(lit_from_dimacs(dl, cnf.num_vars));
-            }
-            cnf.clauses.push_back(std::move(clause));
+    std::vector<Lit> lits;
+    for (;;) {
+        auto item = tok.next(lits);
+        if (!item.ok()) return item.status();
+        if (*item == stream::DimacsTokenizer::Item::kEof) break;
+        switch (*item) {
+            case stream::DimacsTokenizer::Item::kHeader:
+                break;  // declared counts folded in below
+            case stream::DimacsTokenizer::Item::kClause:
+                cnf.clauses.push_back(lits);
+                break;
+            case stream::DimacsTokenizer::Item::kXor:
+                cnf.xors.push_back(xor_from_dimacs_lits(lits));
+                break;
+            case stream::DimacsTokenizer::Item::kEof:
+                break;
         }
     }
-    if (!header_seen) throw DimacsError("missing 'p cnf' header");
-    cnf.num_vars = std::max(cnf.num_vars, declared_vars);
+    cnf.num_vars = std::max<size_t>(tok.header().vars, tok.max_var_seen());
     return cnf;
+}
+
+Cnf read_dimacs(std::istream& in) {
+    auto r = try_read_dimacs(in);
+    if (!r.ok()) throw DimacsError(r.status().message());
+    return std::move(*r);
 }
 
 Cnf read_dimacs_from_string(const std::string& text) {
     std::istringstream in(text);
     return read_dimacs(in);
-}
-
-::bosphorus::Result<Cnf> try_read_dimacs(std::istream& in) {
-    try {
-        return read_dimacs(in);
-    } catch (const DimacsError& e) {
-        return Status::parse_error(e.what());
-    }
 }
 
 ::bosphorus::Result<Cnf> try_read_dimacs_from_string(const std::string& text) {

@@ -1,6 +1,15 @@
 // DIMACS CNF reader/writer, with CryptoMiniSat-style "x" lines for native
 // XOR constraints (e.g. "x1 2 -3 0" meaning x1 ^ x2 ^ x3 = 0 is written as
 // an XOR clause x1 ^ x2 ^ ~x3 = 1).
+//
+// Parsing is built on the incremental tokenizer of
+// src/stream/dimacs_tokenizer.h (shared with the out-of-core streaming
+// preprocessor), so the whole-file readers here and the windowed streaming
+// path reject the same malformed inputs with the same structured errors:
+// literal/header overflow, clauses before or without a 'p cnf' header,
+// unterminated clauses at EOF, negative-zero literals and stray bytes all
+// fail loudly instead of silently truncating the formula. Clauses may span
+// lines and the final line needs no trailing newline.
 #pragma once
 
 #include <istream>
@@ -18,13 +27,29 @@ struct DimacsError : std::runtime_error {
 };
 
 /// Parse a DIMACS CNF. Lines beginning with 'x' are XOR clauses: the listed
-/// literals XOR to true (CryptoMiniSat convention).
+/// literals XOR to true (CryptoMiniSat convention). Throws DimacsError on
+/// malformed input.
 Cnf read_dimacs(std::istream& in);
 Cnf read_dimacs_from_string(const std::string& text);
 
 /// Non-throwing variants: malformed text yields StatusCode::kParseError.
 ::bosphorus::Result<Cnf> try_read_dimacs(std::istream& in);
 ::bosphorus::Result<Cnf> try_read_dimacs_from_string(const std::string& text);
+
+/// Fold the signs of an "x" line's raw literals into the constraint's rhs:
+/// the listed literals XOR to true, so each negation flips the rhs over the
+/// plain variables. Shared by read_dimacs and the streaming tokenizer's
+/// consumers.
+inline XorConstraint xor_from_dimacs_lits(const std::vector<Lit>& lits) {
+    XorConstraint x;
+    x.rhs = true;
+    x.vars.reserve(lits.size());
+    for (const Lit l : lits) {
+        x.vars.push_back(l.var());
+        if (l.sign()) x.rhs = !x.rhs;
+    }
+    return x;
+}
 
 void write_dimacs(std::ostream& out, const Cnf& cnf);
 

@@ -41,7 +41,10 @@ bool resolve(const std::vector<Lit>& a, const std::vector<Lit>& b, Var pivot,
 
 }  // namespace
 
-bool Preprocessor::simplify(Cnf& cnf) {
+bool Preprocessor::simplify(Cnf& cnf) { return simplify(cnf, {}); }
+
+bool Preprocessor::simplify(Cnf& cnf,
+                            const std::vector<bool>& extra_frozen) {
     // Working copy with alive flags and occurrence lists.
     std::vector<std::vector<Lit>> cls = cnf.clauses;
     std::vector<bool> alive(cls.size(), true);
@@ -50,10 +53,14 @@ bool Preprocessor::simplify(Cnf& cnf) {
         c.erase(std::unique(c.begin(), c.end()), c.end());
     }
 
-    // Frozen variables: those in XOR constraints must survive elimination.
+    // Frozen variables: those in XOR constraints must survive elimination,
+    // plus whatever the caller pins (window-incomplete variables in the
+    // streaming path).
     std::vector<bool> frozen(cnf.num_vars, false);
     for (const auto& x : cnf.xors)
         for (Var v : x.vars) frozen[v] = true;
+    for (Var v = 0; v < cnf.num_vars && v < extra_frozen.size(); ++v)
+        if (extra_frozen[v]) frozen[v] = true;
 
     // Fixed values derived by unit propagation at this level.
     std::vector<LBool> fixed(cnf.num_vars, LBool::kUndef);

@@ -36,6 +36,13 @@ public:
     /// are frozen, i.e. excluded from elimination).
     bool simplify(Cnf& cnf);
 
+    /// As simplify(cnf), additionally freezing every variable v with
+    /// `extra_frozen[v]` true (indices beyond the vector are unfrozen).
+    /// The streaming preprocessor uses this to restrict bounded variable
+    /// elimination to variables whose every occurrence lies inside the
+    /// current clause window; all other rules are unaffected.
+    bool simplify(Cnf& cnf, const std::vector<bool>& extra_frozen);
+
     /// Extend a model of the simplified formula to the original variables.
     /// `model` must be indexed by variable and already contain values for
     /// all non-eliminated variables.

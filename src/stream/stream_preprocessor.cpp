@@ -1,0 +1,982 @@
+// Implementation of the out-of-core streaming preprocessor declared in
+// include/bosphorus/stream.h.
+//
+// The pipeline makes several *sequential* passes over the input file, so
+// peak memory is O(vars) global state + one bounded clause window:
+//
+//   discovery rounds  unit propagation, pure/equivalent-literal facts into
+//                     O(vars) state (fixed values + a parity union-find),
+//                     binary-clause pairs detected through a bounded
+//                     open-addressed filter;
+//   counting round    per-variable occurrence counts and polarity bits
+//                     against the frozen fact state -- these gate windowed
+//                     BVE (a variable may be eliminated only if every one
+//                     of its occurrences is inside the window) and pure-
+//                     literal fixing;
+//   window pass       normalized clauses accumulate into a byte-bounded
+//                     window, remapped to a dense local variable space and
+//                     fed through recover_xors -> GF(2) elimination (the
+//                     gf2 kernel) -> sat::Preprocessor, then re-emitted;
+//   fact emission     every fixed variable becomes a unit clause and every
+//                     union-find alias a pair of binary clauses, so facts
+//                     applied only "downstream" of their discovery point
+//                     still constrain the whole output.
+//
+// Soundness note: every transformation except windowed BVE preserves the
+// model set over the input variables; BVE (gated to window-complete,
+// non-XOR, non-alias variables) preserves satisfiability.
+#include "bosphorus/stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "gf2/gf2_matrix.h"
+#include "sat/dimacs.h"
+#include "sat/preprocess.h"
+#include "sat/solve_cnf.h"
+#include "stream/dimacs_tokenizer.h"
+#include "util/mem.h"
+#include "util/timer.h"
+
+namespace bosphorus {
+
+namespace {
+
+using sat::Cnf;
+using sat::LBool;
+using sat::Lit;
+using sat::mk_lit;
+using sat::Var;
+using sat::XorConstraint;
+using stream::ByteSource;
+using stream::DimacsTokenizer;
+
+constexpr uint64_t kPerVarBytes = 12;       // fixed+parent+parity+occ+pol+inx
+// Worst-case flush transient per raw window byte: the window itself (1x,
+// charged at flush), two working copies (2x), and the per-distinct-variable
+// remap/occurrence/Preprocessor state (64 bytes per variable, at most one
+// variable per 4-byte pool literal = 16x). That is 19x; the 20th share of
+// the post-fixed-state budget is reserved for the GF(2) matrix, whose size
+// flush_window() caps against window_budget_ explicitly. kMinAvailBytes =
+// 20 * kMinWindowBytes keeps the two floors consistent, so the accounted
+// peak provably stays within memory_budget_bytes.
+constexpr uint64_t kMinAvailBytes = 40 << 10;
+constexpr uint64_t kMinWindowBytes = 2 << 10;
+constexpr uint64_t kWindowExpansion = 20;
+constexpr uint32_t kOccSaturated = 0xFFFFFFFFu;
+
+/// Streaming DIMACS writer with a fixed-width header patched back in place
+/// once the final variable/constraint counts are known.
+class DimacsStreamWriter {
+public:
+    explicit DimacsStreamWriter(std::ostream& out) : out_(out) {
+        header_pos_ = out_.tellp();
+        emit_header(0, 0);  // placeholder, same width as the final header
+    }
+
+    void clause(const std::vector<Lit>& lits) {
+        line_.clear();
+        for (const Lit l : lits) {
+            append_int(l.to_dimacs());
+            line_.push_back(' ');
+        }
+        line_ += "0\n";
+        out_ << line_;
+        ++constraints_;
+    }
+
+    void unit(Lit l) {
+        line_.clear();
+        append_int(l.to_dimacs());
+        line_ += " 0\n";
+        out_ << line_;
+        ++constraints_;
+    }
+
+    void xline(const std::vector<Var>& vars, bool rhs) {
+        // CryptoMiniSat convention: the listed literals XOR to true, so the
+        // rhs folds into the first literal's sign.
+        line_ = "x";
+        for (size_t i = 0; i < vars.size(); ++i) {
+            if (i) line_.push_back(' ');
+            const bool neg = (i == 0) && !rhs;
+            append_int(neg ? -static_cast<int64_t>(vars[i] + 1)
+                           : static_cast<int64_t>(vars[i] + 1));
+        }
+        line_ += " 0\n";
+        out_ << line_;
+        ++constraints_;
+    }
+
+    uint64_t constraints() const { return constraints_; }
+
+    /// Patch the header and return total bytes written.
+    uint64_t finish(uint64_t num_vars) {
+        out_.flush();
+        const std::streampos end = out_.tellp();
+        out_.seekp(header_pos_);
+        emit_header(num_vars, constraints_);
+        out_.seekp(end);
+        out_.flush();
+        return static_cast<uint64_t>(end - header_pos_);
+    }
+
+private:
+    void emit_header(uint64_t vars, uint64_t constraints) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "p cnf %10llu %14llu\n",
+                      static_cast<unsigned long long>(vars),
+                      static_cast<unsigned long long>(constraints));
+        out_ << buf;
+    }
+
+    void append_int(int64_t v) {
+        char buf[24];
+        const int n = std::snprintf(buf, sizeof buf, "%lld",
+                                    static_cast<long long>(v));
+        line_.append(buf, static_cast<size_t>(n));
+    }
+
+    std::ostream& out_;
+    std::streampos header_pos_;
+    uint64_t constraints_ = 0;
+    std::string line_;
+};
+
+/// Bounded open-addressed set of packed binary clauses (two raw literals
+/// in one 64-bit key) used to detect complementary pairs -- (a|b) and
+/// (~a|~b) together imply the equivalence a == ~b. Lossy by design: once
+/// ~70% full it stops admitting new keys, which only costs detection
+/// opportunities, never soundness.
+class BinaryPairFilter {
+public:
+    explicit BinaryPairFilter(size_t slots) : slots_(slots, 0) {}
+
+    static uint64_t key(Lit a, Lit b) {
+        if (b < a) std::swap(a, b);
+        return (static_cast<uint64_t>(a.raw()) << 32) | b.raw();
+    }
+
+    bool contains(uint64_t k) const {
+        size_t i = hash(k);
+        for (size_t probe = 0; probe < slots_.size(); ++probe) {
+            const uint64_t s = slots_[i];
+            if (s == 0) return false;
+            if (s == k) return true;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+        return false;
+    }
+
+    void insert(uint64_t k) {
+        if (size_ * 10 >= slots_.size() * 7) return;  // saturated: lossy
+        size_t i = hash(k);
+        for (size_t probe = 0; probe < slots_.size(); ++probe) {
+            uint64_t& s = slots_[i];
+            if (s == k) return;
+            if (s == 0) {
+                s = k;
+                ++size_;
+                return;
+            }
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    uint64_t bytes() const { return slots_.size() * 8; }
+
+private:
+    size_t hash(uint64_t k) const {
+        k ^= k >> 33;
+        k *= 0xFF51AFD7ED558CCDull;
+        k ^= k >> 33;
+        return static_cast<size_t>(k) & (slots_.size() - 1);
+    }
+
+    std::vector<uint64_t> slots_;
+    size_t size_ = 0;
+};
+
+enum class ClauseFate : uint8_t { kKeep, kSatisfied, kTautology, kEmpty };
+
+class Pipeline {
+public:
+    explicit Pipeline(const StreamPreprocessConfig& cfg) : cfg_(cfg) {}
+
+    Result<StreamPreprocessStats> run(ByteSource& src, uint64_t bytes_total,
+                                      std::ostream& out);
+
+private:
+    // ---- O(vars) global state ---------------------------------------------
+    Status ensure_var(Var v) {
+        if (v < fixed_.size()) return Status();
+        size_t n = std::max<size_t>(v + 1, fixed_.size() + fixed_.size() / 4);
+        acct_.charge((n - fixed_.size()) * kPerVarBytes);
+        const size_t old = fixed_.size();
+        fixed_.resize(n, LBool::kUndef);
+        parent_.resize(n);
+        for (size_t i = old; i < n; ++i) parent_[i] = static_cast<Var>(i);
+        parity_.resize(n, 0);
+        has_alias_.resize(n, 0);
+        occ_.resize(n, 0);
+        pol_.resize(n, 0);
+        in_xor_.resize(n, 0);
+        if (acct_.current() + kMinAvailBytes > cfg_.memory_budget_bytes)
+            return Status::invalid_argument(
+                "memory_budget_bytes too small: O(vars) state for " +
+                std::to_string(n) + " variables plus buffers needs more than " +
+                std::to_string(cfg_.memory_budget_bytes) + " bytes");
+        return Status();
+    }
+
+    Lit find_lit(Lit l) {
+        Var v = l.var();
+        bool par = l.sign();
+        while (parent_[v] != v) {
+            const Var p = parent_[v];
+            if (parent_[p] != p) {  // path halving
+                parity_[v] = parity_[v] ^ parity_[p];
+                parent_[v] = parent_[p];
+            }
+            par ^= parity_[v];
+            v = parent_[v];
+        }
+        return mk_lit(v, par);
+    }
+
+    /// Record "value(v) = val" for a representative v. 1 = new fact,
+    /// 0 = already known, -1 = contradiction.
+    int set_fixed_value(Var v, bool val) {
+        const LBool want = sat::lbool_from(val);
+        if (fixed_[v] == LBool::kUndef) {
+            fixed_[v] = want;
+            return 1;
+        }
+        return fixed_[v] == want ? 0 : -1;
+    }
+
+    /// Record "literal l is true". 1 = new fact, 0 = known, -1 = conflict.
+    int set_fixed_lit(Lit l) {
+        const Lit r = find_lit(l);
+        return set_fixed_value(r.var(), !r.sign());
+    }
+
+    /// Record the equivalence of literals a and b.
+    int merge(Lit a, Lit b) {
+        Lit ra = find_lit(a), rb = find_lit(b);
+        if (ra.var() == rb.var()) return ra.sign() == rb.sign() ? 0 : -1;
+        if (fixed_[ra.var()] != LBool::kUndef) {
+            const bool va = fixed_[ra.var()] == LBool::kTrue;
+            return set_fixed_value(rb.var(), va ^ ra.sign() ^ rb.sign());
+        }
+        if (fixed_[rb.var()] != LBool::kUndef) {
+            const bool vb = fixed_[rb.var()] == LBool::kTrue;
+            return set_fixed_value(ra.var(), vb ^ ra.sign() ^ rb.sign());
+        }
+        if (ra.var() < rb.var()) std::swap(ra, rb);  // smaller index = root
+        parent_[ra.var()] = rb.var();
+        parity_[ra.var()] = ra.sign() ^ rb.sign();
+        has_alias_[rb.var()] = 1;
+        ++stats_.equivs_merged;
+        return 1;
+    }
+
+    /// Substitute representatives/fixed values into a clause.
+    ClauseFate normalize_clause(const std::vector<Lit>& in,
+                                std::vector<Lit>& out) {
+        out.clear();
+        for (const Lit l : in) {
+            const Lit r = find_lit(l);
+            const LBool f = fixed_[r.var()];
+            if (f != LBool::kUndef) {
+                if ((f == LBool::kTrue) != r.sign()) return ClauseFate::kSatisfied;
+                continue;  // false literal: drop
+            }
+            out.push_back(r);
+        }
+        std::sort(out.begin(), out.end());
+        size_t w = 0;
+        for (size_t i = 0; i < out.size(); ++i) {
+            if (w > 0 && out[i] == out[w - 1]) continue;  // duplicate literal
+            if (w > 0 && out[i].var() == out[w - 1].var())
+                return ClauseFate::kTautology;
+            out[w++] = out[i];
+        }
+        out.resize(w);
+        return out.empty() ? ClauseFate::kEmpty : ClauseFate::kKeep;
+    }
+
+    /// Substitute representatives/fixed values into an XOR constraint;
+    /// duplicate variables cancel in GF(2).
+    void normalize_xor(std::vector<Var>& vars, bool& rhs) {
+        scratch_vars_.clear();
+        for (const Var v : vars) {
+            const Lit r = find_lit(mk_lit(v, false));
+            rhs ^= r.sign();
+            const LBool f = fixed_[r.var()];
+            if (f != LBool::kUndef) {
+                rhs ^= (f == LBool::kTrue);
+                continue;
+            }
+            scratch_vars_.push_back(r.var());
+        }
+        std::sort(scratch_vars_.begin(), scratch_vars_.end());
+        size_t w = 0;
+        for (size_t i = 0; i < scratch_vars_.size(); ++i) {
+            if (w > 0 && scratch_vars_[i] == scratch_vars_[w - 1]) --w;
+            else scratch_vars_[w++] = scratch_vars_[i];
+        }
+        scratch_vars_.resize(w);
+        vars = scratch_vars_;
+    }
+
+    // ---- passes -----------------------------------------------------------
+    Status begin_pass(ByteSource& src, DimacsTokenizer& tok) {
+        if (!first_pass_ && !src.rewind())
+            return Status::internal("input source is not rewindable");
+        if (!first_pass_) tok.reset();
+        first_pass_ = false;
+        return Status();
+    }
+
+    Status poll(StreamPhase phase, uint64_t round, const DimacsTokenizer& tok,
+                uint64_t clauses_seen) {
+        if (cfg_.cancel.cancelled())
+            return Status::interrupted("stream preprocessing cancelled");
+        if (cfg_.on_progress) {
+            StreamProgress p;
+            p.phase = phase;
+            p.round = round;
+            p.bytes_read = tok.bytes_consumed();
+            p.bytes_total = bytes_total_;
+            p.clauses_seen = clauses_seen;
+            p.windows_flushed = stats_.windows;
+            cfg_.on_progress(p);
+        }
+        return Status();
+    }
+
+    Status discovery_round(ByteSource& src, DimacsTokenizer& tok,
+                           uint64_t round, bool& changed);
+    Status counting_round(ByteSource& src, DimacsTokenizer& tok);
+    Status window_pass(ByteSource& src, DimacsTokenizer& tok,
+                       DimacsStreamWriter& writer);
+    Status flush_window(DimacsStreamWriter& writer);
+    void emit_final_facts(DimacsStreamWriter& writer);
+    void emit_xor(DimacsStreamWriter& writer, const std::vector<Var>& vars,
+                  bool rhs);
+
+    const StreamPreprocessConfig& cfg_;
+    StreamPreprocessStats stats_;
+    util::MemoryAccountant acct_;
+    uint64_t bytes_total_ = 0;
+    uint64_t window_budget_ = 0;
+    bool first_pass_ = true;
+    bool unsat_ = false;
+
+    std::vector<LBool> fixed_;
+    std::vector<Var> parent_;
+    std::vector<uint8_t> parity_;
+    std::vector<uint8_t> has_alias_;
+    std::vector<uint32_t> occ_;     // counting-round clause occurrences
+    std::vector<uint8_t> pol_;      // bit0 = positive seen, bit1 = negative
+    std::vector<uint8_t> in_xor_;   // appears in some XOR constraint
+    std::unique_ptr<BinaryPairFilter> binaries_;
+
+    // Current clause window: flat literal pool + clause boundaries, plus
+    // the window's (already normalized) XOR constraints.
+    std::vector<Lit> win_pool_;
+    std::vector<uint32_t> win_ends_;
+    std::vector<XorConstraint> win_xors_;
+    uint64_t win_bytes_ = 0;
+
+    uint64_t out_num_vars_ = 0;  // grows when XOR expansion allocates aux vars
+
+    std::vector<Lit> scratch_lits_;
+    std::vector<Lit> norm_lits_;
+    std::vector<Lit> prev_clause_;
+    std::vector<Var> scratch_vars_;
+};
+
+Status Pipeline::discovery_round(ByteSource& src, DimacsTokenizer& tok,
+                                 uint64_t round, bool& changed) {
+    if (Status s = begin_pass(src, tok); !s.ok()) return s;
+    ++stats_.discovery_rounds_run;
+    changed = false;
+    uint64_t seen = 0;
+    if (Status s = poll(StreamPhase::kDiscover, round, tok, 0); !s.ok())
+        return s;
+    for (;;) {
+        auto item = tok.next(scratch_lits_);
+        if (!item.ok()) return item.status();
+        if (*item == DimacsTokenizer::Item::kEof) return Status();
+        if (*item == DimacsTokenizer::Item::kHeader) {
+            if (Status s = ensure_var(static_cast<Var>(
+                    tok.header().vars ? tok.header().vars - 1 : 0));
+                !s.ok())
+                return s;
+            continue;
+        }
+        for (const Lit l : scratch_lits_)
+            if (Status s = ensure_var(l.var()); !s.ok()) return s;
+
+        if (*item == DimacsTokenizer::Item::kClause) {
+            switch (normalize_clause(scratch_lits_, norm_lits_)) {
+                case ClauseFate::kEmpty:
+                    unsat_ = true;
+                    return Status();
+                case ClauseFate::kSatisfied:
+                case ClauseFate::kTautology:
+                    break;
+                case ClauseFate::kKeep:
+                    if (norm_lits_.size() == 1) {
+                        const int r = set_fixed_lit(norm_lits_[0]);
+                        if (r < 0) { unsat_ = true; return Status(); }
+                        if (r > 0) { ++stats_.units_fixed; changed = true; }
+                    } else if (norm_lits_.size() == 2) {
+                        // (a|b) together with (~a|~b) forces a == ~b.
+                        const uint64_t k =
+                            BinaryPairFilter::key(norm_lits_[0], norm_lits_[1]);
+                        const uint64_t comp = BinaryPairFilter::key(
+                            ~norm_lits_[0], ~norm_lits_[1]);
+                        if (binaries_->contains(comp)) {
+                            const int r = merge(norm_lits_[0], ~norm_lits_[1]);
+                            if (r < 0) { unsat_ = true; return Status(); }
+                            if (r > 0) changed = true;
+                        }
+                        binaries_->insert(k);
+                    }
+                    break;
+            }
+        } else {  // XOR line
+            XorConstraint x = sat::xor_from_dimacs_lits(scratch_lits_);
+            normalize_xor(x.vars, x.rhs);
+            if (x.vars.empty()) {
+                if (x.rhs) { unsat_ = true; return Status(); }
+            } else if (x.vars.size() == 1) {
+                const int r = set_fixed_value(x.vars[0], x.rhs);
+                if (r < 0) { unsat_ = true; return Status(); }
+                if (r > 0) { ++stats_.units_fixed; changed = true; }
+            } else if (x.vars.size() == 2) {
+                // v0 ^ v1 = rhs  <=>  v0 == (v1 ^ rhs)
+                const int r = merge(mk_lit(x.vars[0], false),
+                                    mk_lit(x.vars[1], x.rhs));
+                if (r < 0) { unsat_ = true; return Status(); }
+                if (r > 0) changed = true;
+            }
+        }
+        if (++seen % cfg_.progress_interval_clauses == 0)
+            if (Status s = poll(StreamPhase::kDiscover, round, tok, seen);
+                !s.ok())
+                return s;
+    }
+}
+
+Status Pipeline::counting_round(ByteSource& src, DimacsTokenizer& tok) {
+    if (Status s = begin_pass(src, tok); !s.ok()) return s;
+    uint64_t seen = 0;
+    if (Status s = poll(StreamPhase::kCount, 0, tok, 0); !s.ok()) return s;
+    for (;;) {
+        auto item = tok.next(scratch_lits_);
+        if (!item.ok()) return item.status();
+        if (*item == DimacsTokenizer::Item::kEof) break;
+        if (*item == DimacsTokenizer::Item::kHeader) {
+            if (Status s = ensure_var(static_cast<Var>(
+                    tok.header().vars ? tok.header().vars - 1 : 0));
+                !s.ok())
+                return s;
+            continue;
+        }
+        for (const Lit l : scratch_lits_)
+            if (Status s = ensure_var(l.var()); !s.ok()) return s;
+
+        if (*item == DimacsTokenizer::Item::kClause) {
+            if (normalize_clause(scratch_lits_, norm_lits_) ==
+                ClauseFate::kKeep) {
+                for (const Lit l : norm_lits_) {
+                    if (occ_[l.var()] != kOccSaturated) ++occ_[l.var()];
+                    pol_[l.var()] |= l.sign() ? 2 : 1;
+                }
+            }
+        } else {
+            XorConstraint x = sat::xor_from_dimacs_lits(scratch_lits_);
+            normalize_xor(x.vars, x.rhs);
+            for (const Var v : x.vars) in_xor_[v] = 1;
+        }
+        if (++seen % cfg_.progress_interval_clauses == 0)
+            if (Status s = poll(StreamPhase::kCount, 0, tok, seen); !s.ok())
+                return s;
+    }
+
+    // The input is now fully scanned: the true variable count is known.
+    stats_.num_vars_in = std::max<uint64_t>(tok.header().vars,
+                                            tok.max_var_seen());
+    out_num_vars_ = stats_.num_vars_in;
+
+    // Pure literals: a representative seen in exactly one polarity (and in
+    // no XOR constraint) can be fixed to that polarity; its clauses then
+    // drop out at window intake. Equisatisfiable, not model-preserving.
+    for (Var v = 0; v < fixed_.size(); ++v) {
+        if (parent_[v] != v || fixed_[v] != LBool::kUndef) continue;
+        if (occ_[v] == 0 || occ_[v] == kOccSaturated || in_xor_[v]) continue;
+        if (pol_[v] == 1 || pol_[v] == 2) {
+            set_fixed_value(v, pol_[v] == 1);
+            ++stats_.pure_fixed;
+        }
+    }
+    return Status();
+}
+
+Status Pipeline::flush_window(DimacsStreamWriter& writer) {
+    if (win_ends_.empty() && win_xors_.empty()) return Status();
+    ++stats_.windows;
+
+    // Remap the window to a dense local variable space so all per-variable
+    // work below is O(window), not O(global vars).
+    std::unordered_map<Var, Var> to_local;
+    std::vector<Var> to_global;
+    auto local_of = [&](Var g) {
+        auto [it, inserted] =
+            to_local.try_emplace(g, static_cast<Var>(to_global.size()));
+        if (inserted) to_global.push_back(g);
+        return it->second;
+    };
+
+    Cnf win;
+    win.clauses.reserve(win_ends_.size());
+    uint32_t begin = 0;
+    for (const uint32_t end : win_ends_) {
+        std::vector<Lit> c;
+        c.reserve(end - begin);
+        for (uint32_t i = begin; i < end; ++i)
+            c.push_back(mk_lit(local_of(win_pool_[i].var()),
+                               win_pool_[i].sign()));
+        win.clauses.push_back(std::move(c));
+        begin = end;
+    }
+    for (const XorConstraint& x : win_xors_) {
+        XorConstraint lx;
+        lx.rhs = x.rhs;
+        lx.vars.reserve(x.vars.size());
+        for (const Var v : x.vars) lx.vars.push_back(local_of(v));
+        std::sort(lx.vars.begin(), lx.vars.end());
+        win.xors.push_back(std::move(lx));
+    }
+    win.num_vars = to_global.size();
+
+    // Transient accounting: the remap, occurrence counts and the working
+    // copies inside recover_xors/Preprocessor all live only until this
+    // window is re-emitted; the window budget was sized with
+    // kWindowExpansion headroom for exactly this.
+    uint64_t transient =
+        win_bytes_ * 2 + static_cast<uint64_t>(to_global.size()) * 64;
+    acct_.charge(transient);
+
+    std::vector<uint32_t> local_occ(win.num_vars, 0);
+    for (const auto& c : win.clauses)
+        for (const Lit l : c) ++local_occ[l.var()];
+
+    // XOR recovery over the window, then GF(2) elimination over recovered
+    // plus native rows: the same gf2 kernel the ANF pipeline uses. Unit
+    // rows become global facts, the reduced basis is re-emitted (which
+    // preserves the XOR row space, so dropping the pre-elimination rows
+    // is sound).
+    std::vector<XorConstraint> rows =
+        sat::recover_xors(win, cfg_.xor_max_len);
+    stats_.xors_recovered += rows.size();
+    const size_t native_rows = win.xors.size();
+    for (const XorConstraint& x : win.xors) rows.push_back(x);
+    std::vector<XorConstraint> kept;
+    bool eliminate = !rows.empty();
+    if (eliminate) {
+        std::vector<Var> xvars;
+        for (const XorConstraint& x : rows)
+            xvars.insert(xvars.end(), x.vars.begin(), x.vars.end());
+        std::sort(xvars.begin(), xvars.end());
+        xvars.erase(std::unique(xvars.begin(), xvars.end()), xvars.end());
+
+        // Budget cap on the elimination matrix: one window_budget_ share
+        // of the avail pool was reserved for it (see kWindowExpansion).
+        // Excess *recovered* rows may be dropped -- their defining clauses
+        // stay in the window, so the constraint is not lost -- but native
+        // "x" rows are the only representation of their constraint and
+        // must survive: if they alone overflow the cap, skip elimination
+        // and re-emit them untouched.
+        const uint64_t row_bytes =
+            ((static_cast<uint64_t>(xvars.size()) + 1 + 63) / 64) * 8;
+        const uint64_t max_rows =
+            row_bytes ? window_budget_ / row_bytes : rows.size();
+        if (rows.size() > max_rows) {
+            if (native_rows >= max_rows) {
+                eliminate = false;
+                kept = win.xors;
+            } else {
+                const size_t keep_recovered =
+                    static_cast<size_t>(max_rows) - native_rows;
+                rows.erase(rows.begin() + keep_recovered,
+                           rows.begin() + (rows.size() - native_rows));
+            }
+        }
+        if (eliminate) {
+            std::unordered_map<Var, size_t> xcol;
+            for (size_t i = 0; i < xvars.size(); ++i) xcol.emplace(xvars[i], i);
+
+            gf2::Matrix m(rows.size(), xvars.size() + 1);
+            for (size_t r = 0; r < rows.size(); ++r) {
+                for (const Var v : rows[r].vars) m.flip(r, xcol[v]);
+                if (rows[r].rhs) m.flip(r, xvars.size());
+            }
+            const uint64_t matrix_bytes =
+                m.rows() * ((m.cols() + 63) / 64) * 8;
+            acct_.charge(matrix_bytes);
+            transient += matrix_bytes;
+            m.rref();
+            for (size_t r = 0; r < m.rows(); ++r) {
+                XorConstraint x;
+                for (size_t c = 0; c < xvars.size(); ++c)
+                    if (m.get(r, c)) x.vars.push_back(xvars[c]);
+                x.rhs = m.get(r, xvars.size());
+                if (x.vars.empty()) {
+                    if (x.rhs) { unsat_ = true; return Status(); }
+                    continue;
+                }
+                if (x.vars.size() == 1) {
+                    const int res =
+                        set_fixed_value(to_global[x.vars[0]], x.rhs);
+                    if (res < 0) { unsat_ = true; return Status(); }
+                    if (res > 0) ++stats_.xor_units;
+                    // Inject as a unit clause so the window's own propagation
+                    // benefits from it immediately.
+                    win.clauses.push_back(
+                        {mk_lit(x.vars[0], /*negated=*/!x.rhs)});
+                    continue;
+                }
+                kept.push_back(std::move(x));
+            }
+            }
+    }
+    win.xors = std::move(kept);  // Preprocessor freezes these variables
+
+    // Windowed BVE gate: a variable may be eliminated only if all of its
+    // clause occurrences (per the counting round, an overestimate of what
+    // remains) are inside this window, it is in no XOR constraint, and it
+    // carries no alias-emission obligation.
+    std::vector<bool> frozen(win.num_vars, false);
+    for (Var lv = 0; lv < win.num_vars; ++lv) {
+        const Var gv = to_global[lv];
+        frozen[lv] = in_xor_[gv] || has_alias_[gv] ||
+                     occ_[gv] == kOccSaturated || local_occ[lv] != occ_[gv];
+    }
+
+    sat::Preprocessor::Config pc;
+    pc.max_passes = cfg_.window_passes;
+    if (!cfg_.window_bve) pc.max_occurrences = 0;  // BVE never fires
+    sat::Preprocessor pp(pc);
+    if (!pp.simplify(win, frozen)) {
+        unsat_ = true;
+        return Status();
+    }
+    stats_.subsumed += pp.subsumed_clauses();
+    stats_.strengthened += pp.strengthened_clauses();
+    stats_.bve_eliminated += pp.eliminated_vars();
+
+    // Re-emit: surviving clauses in global variable space; unit clauses
+    // are promoted to global facts instead (the final fact emission writes
+    // them once).
+    std::vector<Lit> gclause;
+    for (const auto& c : win.clauses) {
+        if (c.size() == 1) {
+            const int res = set_fixed_lit(
+                mk_lit(to_global[c[0].var()], c[0].sign()));
+            if (res < 0) { unsat_ = true; return Status(); }
+            if (res > 0) ++stats_.units_fixed;
+            continue;
+        }
+        gclause.clear();
+        for (const Lit l : c)
+            gclause.push_back(mk_lit(to_global[l.var()], l.sign()));
+        writer.clause(gclause);
+        ++stats_.clauses_out;
+    }
+    for (const XorConstraint& x : win.xors) {
+        scratch_vars_.clear();
+        for (const Var lv : x.vars) scratch_vars_.push_back(to_global[lv]);
+        std::sort(scratch_vars_.begin(), scratch_vars_.end());
+        emit_xor(writer, scratch_vars_, x.rhs);
+    }
+
+    acct_.release(transient + win_bytes_);
+    win_pool_.clear();
+    win_ends_.clear();
+    win_xors_.clear();
+    win_bytes_ = 0;
+    return Status();
+}
+
+void Pipeline::emit_xor(DimacsStreamWriter& writer,
+                        const std::vector<Var>& vars, bool rhs) {
+    ++stats_.xors_out;
+    if (cfg_.emit_xor_lines) {
+        writer.xline(vars, rhs);
+        return;
+    }
+    // Expand to plain clauses; auxiliary cut variables are allocated past
+    // the input's variable range.
+    Cnf tmp;
+    tmp.num_vars = out_num_vars_;
+    sat::append_xor_as_clauses(tmp, XorConstraint{vars, rhs});
+    out_num_vars_ = tmp.num_vars;
+    for (const auto& c : tmp.clauses) {
+        writer.clause(c);
+        ++stats_.clauses_out;
+    }
+}
+
+Status Pipeline::window_pass(ByteSource& src, DimacsTokenizer& tok,
+                             DimacsStreamWriter& writer) {
+    if (Status s = begin_pass(src, tok); !s.ok()) return s;
+    prev_clause_.clear();
+    if (Status s = poll(StreamPhase::kWindow, 0, tok, 0); !s.ok()) return s;
+    for (;;) {
+        auto item = tok.next(scratch_lits_);
+        if (!item.ok()) return item.status();
+        if (*item == DimacsTokenizer::Item::kEof) break;
+        if (*item == DimacsTokenizer::Item::kHeader) continue;
+
+        if (*item == DimacsTokenizer::Item::kClause) {
+            ++stats_.clauses_in;
+            switch (normalize_clause(scratch_lits_, norm_lits_)) {
+                case ClauseFate::kEmpty:
+                    unsat_ = true;
+                    return Status();
+                case ClauseFate::kSatisfied:
+                    ++stats_.satisfied_dropped;
+                    break;
+                case ClauseFate::kTautology:
+                    ++stats_.tautologies_dropped;
+                    break;
+                case ClauseFate::kKeep:
+                    if (norm_lits_.size() == 1) {
+                        const int r = set_fixed_lit(norm_lits_[0]);
+                        if (r < 0) { unsat_ = true; return Status(); }
+                        if (r > 0) ++stats_.units_fixed;
+                        break;
+                    }
+                    if (norm_lits_ == prev_clause_) {
+                        ++stats_.duplicates_dropped;  // cheap adjacent dedup
+                        break;
+                    }
+                    prev_clause_ = norm_lits_;
+                    win_pool_.insert(win_pool_.end(), norm_lits_.begin(),
+                                     norm_lits_.end());
+                    win_ends_.push_back(
+                        static_cast<uint32_t>(win_pool_.size()));
+                    win_bytes_ += norm_lits_.size() * 4 + 8;
+                    break;
+            }
+        } else {
+            ++stats_.xors_in;
+            XorConstraint x = sat::xor_from_dimacs_lits(scratch_lits_);
+            normalize_xor(x.vars, x.rhs);
+            if (x.vars.empty()) {
+                if (x.rhs) { unsat_ = true; return Status(); }
+            } else if (x.vars.size() == 1) {
+                const int r = set_fixed_value(x.vars[0], x.rhs);
+                if (r < 0) { unsat_ = true; return Status(); }
+                if (r > 0) ++stats_.units_fixed;
+            } else {
+                win_bytes_ += x.vars.size() * 8 + 16;
+                win_xors_.push_back(std::move(x));
+            }
+        }
+        if (win_bytes_ >= window_budget_) {
+            acct_.charge(win_bytes_);  // high-water mark of the raw window
+            if (Status s = flush_window(writer); !s.ok()) return s;
+            if (unsat_) return Status();
+            if (Status s = poll(StreamPhase::kWindow, 0, tok,
+                                stats_.clauses_in);
+                !s.ok())
+                return s;
+        }
+        if (stats_.clauses_in % cfg_.progress_interval_clauses == 0)
+            if (Status s = poll(StreamPhase::kWindow, 0, tok,
+                                stats_.clauses_in);
+                !s.ok())
+                return s;
+    }
+    acct_.charge(win_bytes_);
+    return flush_window(writer);
+}
+
+void Pipeline::emit_final_facts(DimacsStreamWriter& writer) {
+    for (Var v = 0; v < fixed_.size(); ++v) {
+        if (v >= stats_.num_vars_in) break;  // never-seen padding
+        if (parent_[v] != v) {
+            const Lit r = find_lit(mk_lit(v, false));  // v == literal r
+            if (fixed_[r.var()] != LBool::kUndef) {
+                const bool val =
+                    (fixed_[r.var()] == LBool::kTrue) != r.sign();
+                writer.unit(mk_lit(v, !val));
+            } else {
+                writer.clause({mk_lit(v, true), r});   // ~v | r
+                writer.clause({mk_lit(v, false), ~r}); //  v | ~r
+                stats_.clauses_out += 1;  // the unit path adds one below too
+            }
+            ++stats_.clauses_out;
+            continue;
+        }
+        if (fixed_[v] != LBool::kUndef) {
+            writer.unit(mk_lit(v, fixed_[v] == LBool::kFalse));
+            ++stats_.clauses_out;
+        }
+    }
+}
+
+Result<StreamPreprocessStats> Pipeline::run(ByteSource& src,
+                                            uint64_t bytes_total,
+                                            std::ostream& out) {
+    const Timer timer;
+    bytes_total_ = bytes_total;
+    stats_.bytes_in = bytes_total;
+
+    // ---- budget layout ----------------------------------------------------
+    const uint64_t budget = cfg_.memory_budget_bytes;
+    const uint64_t chunk = std::clamp<uint64_t>(
+        cfg_.read_chunk_bytes, 4096, std::max<uint64_t>(4096, budget / 8));
+    size_t slots = 512;
+    while (slots * 8 < std::min<uint64_t>(budget / 16, 32ull << 20) &&
+           slots < (1u << 22))
+        slots *= 2;
+    binaries_ = std::make_unique<BinaryPairFilter>(slots);
+    acct_.charge(chunk + binaries_->bytes());
+
+    DimacsTokenizer tok(src, {.chunk_bytes = static_cast<size_t>(chunk)});
+    DimacsStreamWriter writer(out);
+
+    // ---- discovery rounds -------------------------------------------------
+    for (int round = 1; round <= cfg_.discovery_rounds && !unsat_; ++round) {
+        bool changed = false;
+        if (Status s = discovery_round(src, tok, round, changed); !s.ok())
+            return s;
+        if (!changed) break;
+    }
+
+    // ---- counting round (always runs: fixes the variable universe) -------
+    if (!unsat_) {
+        if (Status s = counting_round(src, tok); !s.ok()) return s;
+    } else {
+        stats_.num_vars_in =
+            std::max<uint64_t>(tok.header().vars, tok.max_var_seen());
+        out_num_vars_ = stats_.num_vars_in;
+    }
+
+    // ---- window sizing ----------------------------------------------------
+    const uint64_t avail =
+        budget > acct_.current() ? budget - acct_.current() : 0;
+    if (avail < kMinAvailBytes)
+        return Status::invalid_argument(
+            "memory_budget_bytes too small: fixed state uses " +
+            std::to_string(acct_.current()) + " of " + std::to_string(budget) +
+            " bytes, leaving less than " + std::to_string(kMinAvailBytes) +
+            " for the clause window");
+    window_budget_ = std::max(avail / kWindowExpansion, kMinWindowBytes);
+
+    // ---- window pass ------------------------------------------------------
+    if (!unsat_) {
+        if (Status s = window_pass(src, tok, writer); !s.ok()) return s;
+    }
+
+    if (unsat_) {
+        // Short-circuit: append a contradiction; everything already emitted
+        // is implied by the input, so the output stays equisatisfiable
+        // (both sides UNSAT).
+        writer.unit(mk_lit(0, false));
+        writer.unit(mk_lit(0, true));
+        stats_.clauses_out += 2;
+        stats_.verdict = sat::Result::kUnsat;
+        out_num_vars_ = std::max<uint64_t>(out_num_vars_, 1);
+    } else {
+        emit_final_facts(writer);
+    }
+
+    stats_.num_vars_out = std::max<uint64_t>(out_num_vars_, 1);
+    stats_.bytes_out = writer.finish(stats_.num_vars_out);
+    stats_.peak_accounted_bytes = acct_.peak();
+    stats_.peak_rss_bytes = util::peak_rss_bytes();
+    stats_.seconds = timer.seconds();
+    return stats_;
+}
+
+}  // namespace
+
+std::string stream_summary_line(const StreamPreprocessStats& s) {
+    char buf[512];
+    const double mb = static_cast<double>(s.bytes_in) / (1024.0 * 1024.0);
+    const double mbps = s.seconds > 0 ? mb / s.seconds : 0.0;
+    std::snprintf(
+        buf, sizeof buf,
+        "c stream: %llu->%llu clauses, xors in=%llu recovered=%llu "
+        "out=%llu, units=%llu (xor=%llu) pure=%llu equiv=%llu, "
+        "dropped sat=%llu taut=%llu dup=%llu, subsumed=%llu "
+        "strengthened=%llu bve=%llu, windows=%llu rounds=%llu, "
+        "%.1f MB at %.1f MB/s, peak %.1f MiB accounted / %.1f MiB rss%s",
+        static_cast<unsigned long long>(s.clauses_in),
+        static_cast<unsigned long long>(s.clauses_out),
+        static_cast<unsigned long long>(s.xors_in),
+        static_cast<unsigned long long>(s.xors_recovered),
+        static_cast<unsigned long long>(s.xors_out),
+        static_cast<unsigned long long>(s.units_fixed),
+        static_cast<unsigned long long>(s.xor_units),
+        static_cast<unsigned long long>(s.pure_fixed),
+        static_cast<unsigned long long>(s.equivs_merged),
+        static_cast<unsigned long long>(s.satisfied_dropped),
+        static_cast<unsigned long long>(s.tautologies_dropped),
+        static_cast<unsigned long long>(s.duplicates_dropped),
+        static_cast<unsigned long long>(s.subsumed),
+        static_cast<unsigned long long>(s.strengthened),
+        static_cast<unsigned long long>(s.bve_eliminated),
+        static_cast<unsigned long long>(s.windows),
+        static_cast<unsigned long long>(s.discovery_rounds_run), mb, mbps,
+        static_cast<double>(s.peak_accounted_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(s.peak_rss_bytes) / (1024.0 * 1024.0),
+        s.verdict == sat::Result::kUnsat ? ", refuted (UNSAT)" : "");
+    return buf;
+}
+
+Result<StreamPreprocessStats> StreamPreprocessor::run(
+    const std::string& input_path, const std::string& output_path) {
+    stream::FileByteSource src(input_path);
+    if (!src.is_open())
+        return Status::io_error("cannot read " + input_path);
+    std::ofstream out(output_path,
+                      std::ios::binary | std::ios::trunc | std::ios::out);
+    if (!out) return Status::io_error("cannot write " + output_path);
+    Pipeline pipeline(cfg_);
+    auto r = pipeline.run(src, src.size_bytes(), out);
+    if (r.ok()) {
+        out.flush();
+        if (!out)
+            return Status::io_error("write to " + output_path + " failed");
+    }
+    return r;
+}
+
+Result<StreamPreprocessStats> StreamPreprocessor::run_text(
+    const std::string& input_text, std::string* output_text) {
+    if (!output_text)
+        return Status::invalid_argument("output_text must not be null");
+    output_text->clear();
+    stream::StringByteSource src(input_text);
+    std::ostringstream out;
+    Pipeline pipeline(cfg_);
+    auto r = pipeline.run(src, src.size_bytes(), out);
+    if (r.ok()) *output_text = out.str();
+    return r;
+}
+
+}  // namespace bosphorus

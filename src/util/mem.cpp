@@ -1,0 +1,38 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bosphorus::util {
+
+namespace {
+
+/// Parse "<key>:  <n> kB" out of /proc/self/status; 0 if unavailable.
+uint64_t proc_status_kb(const char* key) {
+#ifdef __linux__
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return 0;
+    char line[256];
+    unsigned long long kb = 0;
+    const size_t key_len = std::strlen(key);
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+            std::sscanf(line + key_len + 1, "%llu", &kb);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb * 1024;
+#else
+    (void)key;
+    return 0;
+#endif
+}
+
+}  // namespace
+
+uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM"); }
+
+uint64_t current_rss_bytes() { return proc_status_kb("VmRSS"); }
+
+}  // namespace bosphorus::util

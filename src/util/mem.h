@@ -1,0 +1,46 @@
+// Process-memory observability for the streaming preprocessor and the
+// benchmark harnesses: peak / current resident set size as the kernel
+// accounts it, plus a tiny internal byte-accounting helper the streaming
+// pipeline uses to prove it stays inside its configured budget.
+//
+// RSS readings come from /proc/self/status (Linux); on platforms without
+// procfs both functions return 0, and callers treat 0 as "unavailable"
+// rather than "zero bytes".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bosphorus::util {
+
+/// Peak resident set size (VmHWM) of this process in bytes; 0 if the
+/// platform cannot report it.
+uint64_t peak_rss_bytes();
+
+/// Current resident set size (VmRSS) of this process in bytes; 0 if the
+/// platform cannot report it.
+uint64_t current_rss_bytes();
+
+/// Explicit byte accounting: the streaming pipeline charges every
+/// long-lived allocation (chunk buffers, O(vars) state, clause windows)
+/// against this and reads back the high-water mark. Unlike RSS it excludes
+/// the process baseline, so it is the number compared against a configured
+/// memory budget.
+class MemoryAccountant {
+public:
+    void charge(uint64_t bytes) {
+        current_ += bytes;
+        if (current_ > peak_) peak_ = current_;
+    }
+    void release(uint64_t bytes) {
+        current_ = bytes > current_ ? 0 : current_ - bytes;
+    }
+    uint64_t current() const { return current_; }
+    uint64_t peak() const { return peak_; }
+
+private:
+    uint64_t current_ = 0;
+    uint64_t peak_ = 0;
+};
+
+}  // namespace bosphorus::util

@@ -1,0 +1,535 @@
+// Tests for the out-of-core streaming preprocessor (include/bosphorus/
+// stream.h, src/stream/) and the hardened DIMACS substrate it shares with
+// the whole-file reader (src/stream/dimacs_tokenizer.h, src/sat/dimacs.cpp).
+//
+// The load-bearing suites are differential: the streamed output must be
+// equisatisfiable with the input, checked against the brute-force model
+// enumerator on small instances (where `window_bve=false` additionally
+// bounds the model set: output models are a subset of input models, since
+// unit/pure/equivalence fixing only ever restricts assignments) and
+// against the registered "cms" back-end on instances big enough to force
+// several windows through a deliberately tiny memory budget.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bosphorus/bosphorus.h"
+#include "cnfgen/generators.h"
+#include "sat/dimacs.h"
+#include "sat/solve_cnf.h"
+#include "stream/dimacs_tokenizer.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+using namespace bosphorus;
+
+namespace {
+
+/// Run the streaming preprocessor over in-memory DIMACS text.
+Result<StreamPreprocessStats> stream_text(const std::string& in,
+                                          std::string* out,
+                                          StreamPreprocessConfig cfg = {}) {
+    StreamPreprocessor pp(cfg);
+    return pp.run_text(in, out);
+}
+
+/// Solve DIMACS text with the registered cms-like back-end.
+sat::Result solve_text(const std::string& text) {
+    const sat::Cnf cnf = sat::read_dimacs_from_string(text);
+    const auto so = sat::solve_cnf_with(cnf, "cms", 60.0);
+    return so.ok() ? so->result : sat::Result::kUnknown;
+}
+
+std::string planted_text(uint64_t vars, uint64_t clauses, uint64_t seed,
+                         bool plant = true) {
+    cnfgen::StreamDimacs gen;
+    gen.num_vars = vars;
+    gen.num_clauses = clauses;
+    gen.plant = plant;
+    Rng rng(seed);
+    std::ostringstream out;
+    cnfgen::write_stream_dimacs(out, gen, rng);
+    return out.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DIMACS hardening: the shared tokenizer behind sat::read_dimacs
+// ---------------------------------------------------------------------------
+
+TEST(DimacsHardening, RejectsMissingHeader) {
+    const auto r = sat::try_read_dimacs_from_string("1 2 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsEmptyAndCommentOnlyInput) {
+    EXPECT_EQ(sat::try_read_dimacs_from_string("").status().code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(sat::try_read_dimacs_from_string("c nothing here\n")
+                  .status()
+                  .code(),
+              StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsWrongFormatName) {
+    const auto r = sat::try_read_dimacs_from_string("p dnf 2 1\n1 2 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsHeaderCountOverflow) {
+    const auto r =
+        sat::try_read_dimacs_from_string("p cnf 99999999999 1\n1 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsLiteralOverflow) {
+    // 2^31-1 exceeds the representable range (2^31-2 is the cap).
+    const auto r = sat::try_read_dimacs_from_string(
+        "p cnf 3 1\n2147483647 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    // The cap itself is fine.
+    const auto ok = sat::try_read_dimacs_from_string(
+        "p cnf 2147483646 1\n2147483646 0\n");
+    EXPECT_TRUE(ok.ok()) << ok.status().to_string();
+}
+
+TEST(DimacsHardening, RejectsNegativeZeroLiteral) {
+    const auto r = sat::try_read_dimacs_from_string("p cnf 2 1\n1 -0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsUnterminatedClauseAtEof) {
+    const auto r = sat::try_read_dimacs_from_string("p cnf 2 1\n1 -2");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsDuplicateHeader) {
+    const auto r = sat::try_read_dimacs_from_string(
+        "p cnf 2 1\np cnf 2 1\n1 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, RejectsStrayBytes) {
+    const auto r = sat::try_read_dimacs_from_string("p cnf 2 1\n1 @ 2 0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DimacsHardening, AcceptsClausesSpanningLinesAndNoFinalNewline) {
+    const auto r = sat::try_read_dimacs_from_string(
+        "c leading comment\np cnf 3 2\n1\n 2\n 3 0\n-1 -2 0");
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->clauses.size(), 2u);
+    EXPECT_EQ(r->clauses[0].size(), 3u);
+}
+
+TEST(DimacsHardening, AcceptsCommentAtEofWithoutNewline) {
+    const auto r =
+        sat::try_read_dimacs_from_string("p cnf 1 1\n1 0\nc trailing");
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->clauses.size(), 1u);
+}
+
+TEST(DimacsHardening, GrowsPastDeclaredVariableCount) {
+    const auto r = sat::try_read_dimacs_from_string("p cnf 2 1\n1 5 0\n");
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->num_vars, 5u);
+}
+
+TEST(DimacsHardening, ParsesXorLines) {
+    // "x1 -2 0": x1 ^ ~x2 = 1, i.e. x1 ^ x2 = 0.
+    const auto r = sat::try_read_dimacs_from_string("p cnf 2 1\nx1 -2 0\n");
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    ASSERT_EQ(r->xors.size(), 1u);
+    EXPECT_EQ(r->xors[0].vars.size(), 2u);
+    EXPECT_FALSE(r->xors[0].rhs);
+}
+
+TEST(DimacsTokenizer, TinyChunksSeeTheSameStream) {
+    // A 3-byte chunk size forces literals to straddle refill boundaries.
+    const std::string text = planted_text(40, 200, 5);
+    stream::StringByteSource src(text);
+    stream::DimacsTokenizer::Config cfg;
+    cfg.chunk_bytes = 3;
+    stream::DimacsTokenizer tok(src, cfg);
+    std::vector<sat::Lit> lits;
+    uint64_t clauses = 0, xors = 0;
+    for (;;) {
+        const auto item = tok.next(lits);
+        ASSERT_TRUE(item.ok()) << item.status().to_string();
+        if (*item == stream::DimacsTokenizer::Item::kEof) break;
+        if (*item == stream::DimacsTokenizer::Item::kClause) ++clauses;
+        if (*item == stream::DimacsTokenizer::Item::kXor) ++xors;
+    }
+    const sat::Cnf whole = sat::read_dimacs_from_string(text);
+    EXPECT_EQ(clauses, whole.clauses.size());
+    EXPECT_EQ(xors, whole.xors.size());
+    EXPECT_EQ(tok.bytes_consumed(), text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generator
+// ---------------------------------------------------------------------------
+
+TEST(StreamDimacsGen, DeterministicAndHeaderExact) {
+    const std::string a = planted_text(500, 4000, 42);
+    const std::string b = planted_text(500, 4000, 42);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, planted_text(500, 4000, 43));
+    const sat::Cnf cnf = sat::read_dimacs_from_string(a);
+    EXPECT_EQ(cnf.num_vars, 500u);
+    // The declared clause count is exact: XOR groups and duplicates are
+    // budgeted against it, never emitted past it.
+    std::istringstream in(a);
+    std::string word;
+    uint64_t declared = 0;
+    in >> word >> word >> declared >> declared;
+    EXPECT_EQ(declared, cnf.clauses.size() + cnf.xors.size());
+}
+
+TEST(StreamDimacsGen, PlantedInstanceIsSat) {
+    const std::string text = planted_text(120, 700, testutil::test_seed());
+    EXPECT_EQ(solve_text(text), sat::Result::kSat);
+}
+
+// ---------------------------------------------------------------------------
+// StreamPreprocessor: functional behaviour
+// ---------------------------------------------------------------------------
+
+TEST(StreamPreprocess, OutputParsesAndStaysSat) {
+    const std::string in = planted_text(200, 1500, testutil::test_seed());
+    std::string out;
+    StreamPreprocessConfig cfg;
+    cfg.memory_budget_bytes = 1u << 20;
+    const auto stats = stream_text(in, &out, cfg);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    EXPECT_EQ(stats->bytes_in, in.size());
+    EXPECT_EQ(stats->bytes_out, out.size());
+    EXPECT_EQ(stats->verdict, sat::Result::kUnknown);
+    EXPECT_GT(stats->clauses_in, 0u);
+    // The planted mixed instance carries XOR groups; windows recover them.
+    EXPECT_GT(stats->xors_recovered, 0u);
+    EXPECT_EQ(solve_text(out), sat::Result::kSat);
+}
+
+TEST(StreamPreprocess, UnsatXorCycleShortCircuits) {
+    Rng rng(testutil::test_seed() + 7);
+    const sat::Cnf cnf = cnfgen::xor_cycle(30, /*satisfiable=*/false, rng);
+    std::ostringstream text;
+    sat::write_dimacs(text, cnf);
+    std::string out;
+    const auto stats = stream_text(text.str(), &out);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    EXPECT_EQ(stats->verdict, sat::Result::kUnsat);
+    // The emitted file is a valid, trivially UNSAT formula.
+    EXPECT_EQ(solve_text(out), sat::Result::kUnsat);
+}
+
+TEST(StreamPreprocess, PlainCnfModeEmitsNoXorLines) {
+    const std::string in = planted_text(150, 1200, testutil::test_seed() + 3);
+    std::string out;
+    StreamPreprocessConfig cfg;
+    cfg.emit_xor_lines = false;
+    const auto stats = stream_text(in, &out, cfg);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_NE(line.rfind('x', 0), 0u) << "x line in plain-CNF mode";
+    const sat::Cnf parsed = sat::read_dimacs_from_string(out);
+    EXPECT_TRUE(parsed.xors.empty());
+    EXPECT_EQ(solve_text(out), sat::Result::kSat);
+}
+
+TEST(StreamPreprocess, HeaderIsPatchedToFinalCounts) {
+    const std::string in = planted_text(100, 800, testutil::test_seed() + 9);
+    std::string out;
+    const auto stats = stream_text(in, &out);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    std::istringstream hdr(out);
+    std::string p, fmt;
+    uint64_t vars = 0, clauses = 0;
+    hdr >> p >> fmt >> vars >> clauses;
+    EXPECT_EQ(p, "p");
+    EXPECT_EQ(fmt, "cnf");
+    EXPECT_EQ(vars, stats->num_vars_out);
+    const sat::Cnf parsed = sat::read_dimacs_from_string(out);
+    EXPECT_EQ(clauses, parsed.clauses.size() + parsed.xors.size());
+}
+
+TEST(StreamPreprocess, FilePathRoundTrip) {
+    const std::string in_path = "stream_test_in.tmp.cnf";
+    const std::string out_path = "stream_test_out.tmp.cnf";
+    const std::string text = planted_text(80, 600, testutil::test_seed() + 1);
+    {
+        std::ofstream f(in_path, std::ios::binary);
+        f << text;
+    }
+    StreamPreprocessor pp;
+    const auto stats = pp.run(in_path, out_path);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    EXPECT_EQ(stats->bytes_in, text.size());
+    std::ifstream f(out_path, std::ios::binary);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_EQ(buf.str().size(), stats->bytes_out);
+    EXPECT_EQ(solve_text(buf.str()), sat::Result::kSat);
+    std::remove(in_path.c_str());
+    std::remove(out_path.c_str());
+}
+
+TEST(StreamPreprocess, MissingInputFileIsIoError) {
+    StreamPreprocessor pp;
+    const auto stats =
+        pp.run("no/such/file.cnf", "stream_test_never.tmp.cnf");
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+}
+
+TEST(StreamPreprocess, MalformedInputIsParseError) {
+    std::string out;
+    const auto stats = stream_text("p cnf 2 1\n1 -0\n", &out);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kParseError);
+}
+
+TEST(StreamPreprocess, BudgetTooSmallIsInvalidArgument) {
+    std::string out;
+    StreamPreprocessConfig cfg;
+    cfg.memory_budget_bytes = 1024;  // below the fixed-state floor
+    const auto stats =
+        stream_text(planted_text(5000, 20000, 2), &out, cfg);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamPreprocess, NullOutputTextIsInvalidArgument) {
+    StreamPreprocessor pp;
+    const auto stats = pp.run_text("p cnf 1 1\n1 0\n", nullptr);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamPreprocess, PreCancelledTokenInterrupts) {
+    runtime::CancellationSource src;
+    src.request_cancel();
+    StreamPreprocessConfig cfg;
+    cfg.cancel = src.token();
+    std::string out;
+    const auto stats =
+        stream_text(planted_text(50, 400, 3), &out, cfg);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kInterrupted);
+}
+
+TEST(StreamPreprocess, ProgressCoversAllPhases) {
+    std::set<StreamPhase> seen;
+    uint64_t calls = 0;
+    StreamPreprocessConfig cfg;
+    cfg.progress_interval_clauses = 16;
+    cfg.on_progress = [&](const StreamProgress& p) {
+        seen.insert(p.phase);
+        ++calls;
+        EXPECT_LE(p.bytes_read, p.bytes_total);
+    };
+    std::string out;
+    const auto stats =
+        stream_text(planted_text(100, 900, 11), &out, cfg);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    EXPECT_GT(calls, 0u);
+    EXPECT_TRUE(seen.count(StreamPhase::kDiscover));
+    EXPECT_TRUE(seen.count(StreamPhase::kCount));
+    EXPECT_TRUE(seen.count(StreamPhase::kWindow));
+}
+
+TEST(StreamPreprocess, SummaryLineMentionsKeyCounters) {
+    std::string out;
+    const auto stats = stream_text(planted_text(60, 400, 13), &out);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    const std::string line = stream_summary_line(*stats);
+    EXPECT_EQ(line.rfind("c stream:", 0), 0u) << line;
+    EXPECT_NE(line.find("windows="), std::string::npos) << line;
+    EXPECT_NE(line.find("units="), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------------
+// Differential suites
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Brute-force model sets (bitmask-encoded) of DIMACS text over its
+/// declared variable count; requires <= ~16 variables.
+std::vector<uint32_t> models_of(const std::string& text) {
+    return testutil::cnf_models(sat::read_dimacs_from_string(text));
+}
+
+}  // namespace
+
+// With BVE off, every streamed transformation (unit fixing, pure
+// literals, equivalence merging, subsumption, GF(2) elimination) only
+// *restricts* the assignment set: output models must be a subset of input
+// models, and satisfiability must be preserved exactly.
+TEST(StreamDifferential, BruteForceModelSubsetWithoutBve) {
+    const uint64_t base = testutil::test_seed();
+    for (int round = 0; round < 30; ++round) {
+        Rng rng(base + round);
+        const size_t vars = 6 + rng.next() % 8;  // 6..13
+        const size_t clauses = vars * (2 + rng.next() % 3);
+        const unsigned k = 2 + rng.next() % 2;
+        const sat::Cnf cnf = cnfgen::random_ksat(vars, clauses, k, rng);
+        std::ostringstream text;
+        sat::write_dimacs(text, cnf);
+
+        StreamPreprocessConfig cfg;
+        cfg.window_bve = false;
+        std::string out;
+        const auto stats = stream_text(text.str(), &out, cfg);
+        ASSERT_TRUE(stats.ok())
+            << "round " << round << ": " << stats.status().to_string();
+
+        const std::vector<uint32_t> in_models = models_of(text.str());
+        if (stats->verdict == sat::Result::kUnsat) {
+            EXPECT_TRUE(in_models.empty()) << "round " << round;
+            continue;
+        }
+        // The output may declare fewer variables than the input when the
+        // tail got fixed; evaluate it over the input's variable count so
+        // bitmasks are comparable (extra variables are unconstrained).
+        sat::Cnf out_cnf = sat::read_dimacs_from_string(out);
+        ASSERT_LE(out_cnf.num_vars, cnf.num_vars) << "round " << round;
+        out_cnf.num_vars = cnf.num_vars;
+        std::ostringstream out_norm;
+        sat::write_dimacs(out_norm, out_cnf);
+        const std::vector<uint32_t> out_models = models_of(out_norm.str());
+
+        EXPECT_EQ(in_models.empty(), out_models.empty())
+            << "round " << round << ": satisfiability changed";
+        for (uint32_t m : out_models)
+            EXPECT_TRUE(std::binary_search(in_models.begin(),
+                                           in_models.end(), m))
+                << "round " << round << ": streamed output gained model "
+                << m;
+    }
+}
+
+// Full pipeline (BVE on): equisatisfiability on random small instances,
+// brute force as the oracle.
+TEST(StreamDifferential, BruteForceEquisatWithBve) {
+    const uint64_t base = testutil::test_seed() + 1000;
+    for (int round = 0; round < 30; ++round) {
+        Rng rng(base + round);
+        const size_t vars = 6 + rng.next() % 8;
+        const size_t clauses = vars * (3 + rng.next() % 3);
+        const sat::Cnf cnf = cnfgen::random_ksat(vars, clauses, 3, rng);
+        std::ostringstream text;
+        sat::write_dimacs(text, cnf);
+
+        std::string out;
+        const auto stats = stream_text(text.str(), &out);
+        ASSERT_TRUE(stats.ok())
+            << "round " << round << ": " << stats.status().to_string();
+
+        const bool in_sat = !models_of(text.str()).empty();
+        const bool out_sat = stats->verdict == sat::Result::kUnsat
+                                 ? false
+                                 : !models_of(out).empty();
+        EXPECT_EQ(in_sat, out_sat) << "round " << round;
+    }
+}
+
+// Multi-window runs: a tiny budget forces the window pass to flush
+// several times mid-stream, exercising the cross-window soundness gates
+// (frozen variables, occurrence saturation). Solver-checked because the
+// instances are too big to brute-force.
+TEST(StreamDifferential, SolverEquisatAcrossWindows) {
+    const uint64_t base = testutil::test_seed() + 2000;
+    for (int round = 0; round < 4; ++round) {
+        // plant=false rounds may be SAT or UNSAT; both must round-trip.
+        // No unit clauses and a near-threshold clause ratio, so discovery
+        // cannot collapse the instance before it reaches the window pass.
+        const bool plant = (round % 2) == 0;
+        cnfgen::StreamDimacs gen;
+        gen.num_vars = 300;
+        gen.num_clauses = 1000;
+        gen.unit_percent = 0;
+        gen.duplicate_percent = 0;
+        gen.plant = plant;
+        Rng rng(base + round);
+        std::ostringstream gen_text;
+        cnfgen::write_stream_dimacs(gen_text, gen, rng);
+        const std::string in = gen_text.str();
+
+        StreamPreprocessConfig cfg;
+        cfg.memory_budget_bytes = 96u << 10;  // force several windows
+        std::string out;
+        const auto stats = stream_text(in, &out, cfg);
+        ASSERT_TRUE(stats.ok())
+            << "round " << round << ": " << stats.status().to_string();
+        EXPECT_GE(stats->windows, 2u) << "round " << round;
+
+        const sat::Result want = solve_text(in);
+        ASSERT_NE(want, sat::Result::kUnknown) << "round " << round;
+        const sat::Result got = stats->verdict == sat::Result::kUnsat
+                                    ? sat::Result::kUnsat
+                                    : solve_text(out);
+        EXPECT_EQ(got, want) << "round " << round;
+        if (plant) EXPECT_EQ(want, sat::Result::kSat) << "round " << round;
+    }
+}
+
+// An XOR chain whose clauses straddle a window boundary must survive:
+// whatever each window recovers locally, the global formula stays
+// equisatisfiable (the chain forces x1 = x_n; the closing constraint
+// decides SAT/UNSAT).
+TEST(StreamDifferential, XorChainAcrossWindowBoundary) {
+    for (const bool satisfiable : {true, false}) {
+        Rng rng(testutil::test_seed() + satisfiable);
+        const sat::Cnf cnf = cnfgen::xor_cycle(200, satisfiable, rng);
+        std::ostringstream text;
+        sat::write_dimacs(text, cnf);
+
+        StreamPreprocessConfig cfg;
+        cfg.memory_budget_bytes = 80u << 10;
+        std::string out;
+        const auto stats = stream_text(text.str(), &out, cfg);
+        ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+
+        const sat::Result want =
+            satisfiable ? sat::Result::kSat : sat::Result::kUnsat;
+        const sat::Result got = stats->verdict == sat::Result::kUnsat
+                                    ? sat::Result::kUnsat
+                                    : solve_text(out);
+        EXPECT_EQ(got, want)
+            << (satisfiable ? "satisfiable" : "unsatisfiable") << " cycle";
+    }
+}
+
+// The memory account must respect the configured budget even when the
+// input is several times larger than it.
+TEST(StreamPreprocess, AccountedPeakStaysWithinBudget) {
+    const std::string in = planted_text(3000, 40000, testutil::test_seed());
+    StreamPreprocessConfig cfg;
+    cfg.memory_budget_bytes = 128u << 10;
+    ASSERT_GT(in.size(), 4 * cfg.memory_budget_bytes)
+        << "input not big enough to prove anything";
+    std::string out;
+    const auto stats = stream_text(in, &out, cfg);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    EXPECT_LE(stats->peak_accounted_bytes, cfg.memory_budget_bytes);
+    EXPECT_GE(stats->windows, 2u);
+    EXPECT_EQ(solve_text(out), sat::Result::kSat);
+}
