@@ -1,0 +1,236 @@
+// Resilience-layer benchmark: what does wrapping the in-process CMS
+// backend in `resilient:` cost when nothing goes wrong, and what does a
+// verdict cost when 30% of attempts are shot down by the fault injector?
+//
+// Three passes over the same random 3-SAT instances (phase-transition
+// ratio, so both verdicts occur):
+//  * bare        -- plain "cms", the baseline;
+//  * resilient   -- "resilient:cms,retries=2", no faults armed;
+//  * crash-plan  -- same spec with a deep retry budget, under an armed
+//                   "backend-crash=0.3@64" plan.
+//
+// Checks, enforced with a nonzero exit code:
+//  * verdicts are bit-identical between bare and resilient (no faults);
+//  * verdicts still match under the crash plan (the @64 cap guarantees
+//    the retry budget outlasts the fault budget);
+//  * resilient overhead with no faults armed is <= BENCH_OVERHEAD_GATE
+//    (default 1.05) of the bare wall-clock, best-of-BENCH_REPS totals.
+//
+// Output is machine-readable JSON, printed to stdout and written to
+// BENCH_resilience.json (override with BENCH_JSON_OUT). Knobs:
+// BENCH_INSTANCES (12), BENCH_VARS (90), BENCH_REPS (3), BENCH_SEED (1),
+// BENCH_TIMEOUT (30, per-solve seconds), BENCH_OVERHEAD_GATE (1.05).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bosphorus/bosphorus.h"
+#include "bosphorus/sat_backend.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bosphorus;
+
+namespace {
+
+size_t env_or(const char* name, size_t fallback) {
+    if (const char* v = std::getenv(name)) return std::strtoul(v, nullptr, 10);
+    return fallback;
+}
+
+double env_or_d(const char* name, double fallback) {
+    if (const char* v = std::getenv(name)) return std::strtod(v, nullptr);
+    return fallback;
+}
+
+/// A random 3-SAT instance at the phase-transition ratio (4.26), as the
+/// clause list alone: both passes load the identical formula.
+struct Instance {
+    size_t n_vars = 0;
+    std::vector<std::vector<sat::Lit>> clauses;
+};
+
+Instance make_instance(size_t n_vars, Rng& rng) {
+    Instance inst;
+    inst.n_vars = n_vars;
+    const size_t n_clauses = (n_vars * 426 + 50) / 100;
+    for (size_t c = 0; c < n_clauses; ++c) {
+        std::vector<sat::Lit> cl;
+        while (cl.size() < 3) {
+            const sat::Var v = static_cast<sat::Var>(rng.below(n_vars));
+            bool fresh = true;
+            for (const sat::Lit l : cl)
+                if (l.var() == v) fresh = false;
+            if (fresh) cl.push_back(sat::mk_lit(v, rng.below(2) == 0));
+        }
+        inst.clauses.push_back(std::move(cl));
+    }
+    return inst;
+}
+
+const char* verdict_name(sat::Result r) {
+    if (r == sat::Result::kSat) return "sat";
+    if (r == sat::Result::kUnsat) return "unsat";
+    return "unknown";
+}
+
+/// One cold solve of `inst` on a fresh backend built from `spec`.
+sat::Result solve_once(const std::string& spec, const Instance& inst,
+                       double timeout_s, double* seconds) {
+    auto made = sat::BackendRegistry::global().create(sat::SolverSpec{spec});
+    if (!made.ok()) {
+        std::fprintf(stderr, "FATAL: cannot create backend '%s': %s\n",
+                     spec.c_str(), made.status().to_string().c_str());
+        std::exit(1);
+    }
+    sat::SolverBackend& b = **made;
+    b.ensure_vars(inst.n_vars);
+    for (const auto& cl : inst.clauses) b.add_clause(cl);
+    const Timer t;
+    const sat::Result r = b.solve(-1, timeout_s);
+    *seconds = t.seconds();
+    return r;
+}
+
+/// Best-of-`reps` total wall-clock of `spec` across every instance;
+/// verdicts from the final rep land in `verdicts` / `times`.
+double run_pass(const std::string& spec,
+                const std::vector<Instance>& instances, size_t reps,
+                double timeout_s, std::vector<sat::Result>* verdicts,
+                std::vector<double>* times) {
+    double best = -1.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+        verdicts->clear();
+        times->clear();
+        double total = 0.0;
+        for (const auto& inst : instances) {
+            double s = 0.0;
+            verdicts->push_back(solve_once(spec, inst, timeout_s, &s));
+            times->push_back(s);
+            total += s;
+        }
+        if (best < 0.0 || total < best) best = total;
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const size_t n_instances = env_or("BENCH_INSTANCES", 12);
+    const size_t n_vars = env_or("BENCH_VARS", 90);
+    const size_t reps = env_or("BENCH_REPS", 3);
+    const uint64_t seed = env_or("BENCH_SEED", 1);
+    const double timeout_s = env_or_d("BENCH_TIMEOUT", 30.0);
+    const double gate = env_or_d("BENCH_OVERHEAD_GATE", 1.05);
+
+    Rng rng(seed);
+    std::vector<Instance> instances;
+    for (size_t i = 0; i < n_instances; ++i)
+        instances.push_back(make_instance(n_vars, rng));
+
+    sat::BackendRegistry::global().health().reset();
+
+    std::vector<sat::Result> bare_v, res_v, crash_v;
+    std::vector<double> bare_t, res_t, crash_t;
+    const double bare_total =
+        run_pass("cms", instances, reps, timeout_s, &bare_v, &bare_t);
+    const double res_total = run_pass("resilient:cms,retries=2", instances,
+                                      reps, timeout_s, &res_v, &res_t);
+
+    // Time-to-verdict with 30% of in-process attempts injected as
+    // crashes. The @64 cap bounds total faults below the retry budget
+    // (21 attempts/instance), so every instance still reaches a verdict.
+    const std::string crash_plan =
+        "backend-crash=0.3@64,seed=" + std::to_string(seed);
+    const auto& counters = sat::resilience_counters();
+    const uint64_t retries_before = counters.retries.load();
+    double crash_total = 0.0;
+    {
+        fault::ScopedFaultPlan plan(crash_plan);
+        if (!plan.status().ok()) {
+            std::fprintf(stderr, "FATAL: cannot arm '%s': %s\n",
+                         crash_plan.c_str(),
+                         plan.status().to_string().c_str());
+            return 1;
+        }
+        crash_total =
+            run_pass("resilient:cms,retries=20,backoff=0.001", instances, 1,
+                     timeout_s, &crash_v, &crash_t);
+    }
+    const uint64_t crash_retries = counters.retries.load() - retries_before;
+    sat::BackendRegistry::global().health().reset();
+
+    bool verdicts_equal = true, crash_equal = true;
+    size_t n_sat = 0;
+    for (size_t i = 0; i < instances.size(); ++i) {
+        if (bare_v[i] != res_v[i]) verdicts_equal = false;
+        if (bare_v[i] != crash_v[i]) crash_equal = false;
+        if (bare_v[i] == sat::Result::kSat) ++n_sat;
+    }
+    const double overhead =
+        bare_total > 0.0 ? res_total / bare_total : 1.0;
+    const bool overhead_ok = overhead <= gate;
+
+    std::string json = "{\n";
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  \"bench\": \"resilience\",\n"
+                  "  \"instances\": %zu,\n  \"vars\": %zu,\n"
+                  "  \"sat_instances\": %zu,\n  \"reps\": %zu,\n"
+                  "  \"seed\": %llu,\n  \"bare_total_s\": %.4f,\n"
+                  "  \"resilient_total_s\": %.4f,\n"
+                  "  \"overhead_ratio\": %.4f,\n"
+                  "  \"overhead_gate\": %.2f,\n"
+                  "  \"overhead_ok\": %s,\n"
+                  "  \"verdicts_equivalent\": %s,\n",
+                  n_instances, n_vars, n_sat, reps,
+                  static_cast<unsigned long long>(seed), bare_total,
+                  res_total, overhead, gate, overhead_ok ? "true" : "false",
+                  verdicts_equal ? "true" : "false");
+    json += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"crash_plan\": {\"plan\": \"%s\", \"total_s\": %.4f, "
+                  "\"retries\": %llu, \"verdicts_equivalent\": %s},\n",
+                  crash_plan.c_str(), crash_total,
+                  static_cast<unsigned long long>(crash_retries),
+                  crash_equal ? "true" : "false");
+    json += buf;
+    json += "  \"rows\": [\n";
+    for (size_t i = 0; i < instances.size(); ++i) {
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"3sat-%zux#%zu\", \"verdict\": \"%s\", "
+            "\"bare_s\": %.4f, \"resilient_s\": %.4f, \"crash_s\": %.4f}%s\n",
+            n_vars, i, verdict_name(bare_v[i]), bare_t[i], res_t[i],
+            crash_t[i], i + 1 < instances.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    const char* out_path = std::getenv("BENCH_JSON_OUT");
+    std::ofstream out(out_path ? out_path : "BENCH_resilience.json");
+    out << json;
+
+    if (!verdicts_equal) {
+        std::fprintf(stderr, "FAIL: resilient verdicts diverge from bare\n");
+        return 1;
+    }
+    if (!crash_equal) {
+        std::fprintf(stderr,
+                     "FAIL: verdicts diverge under the crash plan\n");
+        return 1;
+    }
+    if (!overhead_ok) {
+        std::fprintf(stderr, "FAIL: overhead %.4f exceeds gate %.2f\n",
+                     overhead, gate);
+        return 1;
+    }
+    return 0;
+}

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -189,6 +190,111 @@ struct BackendInfo {
     bool builtin = false;     ///< shipped with the library vs user-registered
 };
 
+/// Per-backend circuit-breaker health accounting, shared by every
+/// `ResilientBackend` in the process (it lives in `BackendRegistry`).
+///
+/// Classic three-state breaker, keyed by registry backend name:
+///
+///   - **closed**: requests flow; `failure_threshold` *consecutive*
+///     failures open the circuit.
+///   - **open**: `allow()` denies everything until `open_cooldown_s` of
+///     wall-clock has passed, then admits exactly one half-open probe.
+///   - **half-open**: one probe in flight; success closes the circuit,
+///     failure re-opens it (and restarts the cooldown).
+///
+/// ResilientBackend consults `allow()` before each fallback-chain entry
+/// (the final, known-good entry is exempt -- degrading must always have
+/// somewhere to go) and feeds outcomes back via `record_*`. The METRICS
+/// verb surfaces `snapshot()` as `circuit.<backend>.*` lines.
+class HealthTracker {
+public:
+    enum class CircuitState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+    struct Config {
+        uint32_t failure_threshold = 3;  ///< consecutive failures to open
+        double open_cooldown_s = 5.0;    ///< open -> half-open probe delay
+    };
+
+    /// One backend's health, as returned by snapshot().
+    struct Snapshot {
+        std::string backend;
+        CircuitState state = CircuitState::kClosed;
+        uint64_t successes = 0;
+        uint64_t failures = 0;
+        uint64_t consecutive_failures = 0;
+        uint64_t opens = 0;  ///< times the circuit transitioned to open
+    };
+
+    /// Replace the breaker thresholds (applies to future transitions).
+    void set_config(Config cfg);
+    Config config() const;
+
+    /// May a request go to `backend` now? Open circuits deny until the
+    /// cooldown elapses, then this call itself admits the single
+    /// half-open probe (callers need no separate probe API).
+    bool allow(const std::string& backend);
+
+    void record_success(const std::string& backend);
+    void record_failure(const std::string& backend);
+
+    /// All tracked backends, sorted by name.
+    std::vector<Snapshot> snapshot() const;
+
+    /// Total circuit-open transitions across all backends.
+    uint64_t total_opens() const;
+
+    /// Forget everything (tests).
+    void reset();
+
+    /// The state's wire name: "closed" / "open" / "half-open".
+    static const char* state_name(CircuitState s);
+
+private:
+    struct Entry {
+        CircuitState state = CircuitState::kClosed;
+        uint64_t successes = 0;
+        uint64_t failures = 0;
+        uint64_t consecutive_failures = 0;
+        uint64_t opens = 0;
+        double opened_at_s = 0;  ///< monotonic stamp of the last open
+    };
+
+    mutable std::mutex mu_;
+    Config cfg_;
+    std::vector<std::pair<std::string, Entry>> entries_;  // few, linear scan
+};
+
+/// Process-global counters of what the resilience layer did, surfaced in
+/// bosphorusd METRICS (`resilience.*`) and bench output. Monotonic.
+struct ResilienceCounters {
+    std::atomic<uint64_t> attempts{0};          ///< underlying solve attempts
+    std::atomic<uint64_t> retries{0};           ///< re-attempts after failure
+    std::atomic<uint64_t> fallbacks{0};         ///< chain entries given up on
+    std::atomic<uint64_t> garbage_rejected{0};  ///< models failing verification
+    std::atomic<uint64_t> exhausted{0};         ///< solves with no verdict left
+};
+
+/// The process-global counter block (never reset in production).
+ResilienceCounters& resilience_counters();
+
+/// Options parsed from the `resilient:` spec argument.
+struct ResilienceOptions {
+    uint32_t max_attempts = 3;        ///< per chain entry (1 = no retries)
+    double attempt_timeout_s = -1.0;  ///< per attempt; <0: remaining budget
+    double backoff_base_s = 0.01;     ///< first retry delay
+    double backoff_max_s = 0.25;      ///< delay ceiling
+};
+
+/// Build the `resilient:` decorator from its spec argument -- a
+/// comma-separated fallback chain of solver specs, optionally followed by
+/// `retries=N` / `attempt-timeout=S` / `backoff=S` options, e.g.
+/// `"resilient:dimacs-exec:kissat -q,cms,retries=2,attempt-timeout=5"`.
+/// When no chain entry is an in-tree backend, "cms" is appended as the
+/// known-good final fallback. Fails with kInvalidArgument when the chain
+/// is empty, nests `resilient`, or no entry can be instantiated.
+::bosphorus::Result<std::unique_ptr<SolverBackend>> make_resilient_backend(
+    const std::string& arg);
+
 /// The process-global, thread-safe registry of SAT back-end factories.
 ///
 /// A factory takes the spec argument (the part after ':', empty for plain
@@ -225,11 +331,16 @@ public:
     /// True iff a backend named `name` is registered.
     bool contains(const std::string& name) const;
 
+    /// The process-wide circuit-breaker health state (see HealthTracker).
+    HealthTracker& health() { return health_; }
+    const HealthTracker& health() const { return health_; }
+
 private:
     BackendRegistry() = default;
 
     mutable std::mutex mutex_;
     std::vector<std::pair<BackendInfo, Factory>> entries_;
+    HealthTracker health_;
 };
 
 /// One-call CNF solving through the registry: create a backend from

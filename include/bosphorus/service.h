@@ -53,6 +53,7 @@
 #include "bosphorus/batch.h"
 #include "bosphorus/engine.h"
 #include "bosphorus/problem.h"
+#include "bosphorus/sat_backend.h"
 #include "bosphorus/status.h"
 
 namespace bosphorus {
@@ -109,6 +110,30 @@ struct ServiceConfig {
 
     /// Hard cap on any requested deadline (0 = uncapped).
     double max_timeout_s = 0.0;
+
+    /// Per-client in-flight (queued + running) job quota; a submit beyond
+    /// it is rejected with kUnavailable. 0 = unlimited.
+    size_t max_inflight_per_client = 0;
+
+    /// Deadline-aware admission: once enough runtimes are observed, a
+    /// submit whose estimated completion (queue wait at the current depth
+    /// plus one EWMA runtime) exceeds its own deadline is rejected up
+    /// front with kUnavailable carrying a `retry_after_ms=<n>` hint --
+    /// shedding doomed work at the door instead of burning a worker slot
+    /// on a job that will expire anyway.
+    bool deadline_admission = true;
+
+    /// shutdown() drain grace: seconds running jobs get to finish before
+    /// they are cancelled cooperatively. Queued jobs are always cancelled
+    /// immediately. 0 = cancel running jobs immediately (the pre-drain
+    /// behaviour).
+    double drain_grace_s = 0.0;
+
+    /// Fault-injection plan armed at service construction (see
+    /// util/fault.h for the `site=prob[,...][,seed=N]` syntax). Empty =
+    /// leave the process-global injector alone. A malformed plan fails
+    /// construction loudly via stderr and stays disarmed.
+    std::string fault_plan;
 };
 
 /// Handle of a submitted job; unique for the service's lifetime.
@@ -181,6 +206,16 @@ struct ServiceStats {
     uint64_t expired = 0;    ///< jobs that reached kExpired
     uint64_t failed = 0;     ///< jobs that reached kFailed
 
+    /// ... of `rejected`, refusals by deadline-aware admission (the rest
+    /// hit the queue / client-table / quota capacity bounds).
+    uint64_t deadline_rejected = 0;
+    /// Writes that found the client gone (EPIPE/ECONNRESET), as reported
+    /// by the connection front end via note_client_disconnect().
+    uint64_t client_disconnects = 0;
+    /// EWMA of terminal run times feeding deadline admission (0 until
+    /// the first run finishes).
+    double ewma_run_s = 0.0;
+
     size_t queued = 0;         ///< jobs currently waiting
     size_t running = 0;        ///< jobs currently executing
     size_t clients = 0;        ///< client lanes seen so far
@@ -203,6 +238,22 @@ struct ServiceStats {
     anf::MonomialStore::Stats store;
 
     double uptime_s = 0.0;  ///< seconds since the service was constructed
+
+    // ---- resilience / fault surface (process-global, read-through) -------
+    /// The fault plan currently armed ("" when the injector is inert).
+    std::string fault_plan;
+    /// Total faults the injector has fired since it was last armed.
+    uint64_t faults_injected = 0;
+    /// ResilientBackend counters (see sat::resilience_counters()).
+    uint64_t resilience_attempts = 0;
+    uint64_t resilience_retries = 0;
+    uint64_t resilience_fallbacks = 0;
+    uint64_t resilience_garbage = 0;
+    uint64_t resilience_exhausted = 0;
+    /// Circuit-breaker state per backend plus the total open transitions
+    /// (see sat::HealthTracker).
+    uint64_t circuit_opens = 0;
+    std::vector<sat::HealthTracker::Snapshot> circuits;
 };
 
 /// The multi-tenant solve service (see the file comment). Construct one
@@ -274,9 +325,16 @@ public:
     /// One consistent metrics snapshot (see ServiceStats).
     ServiceStats stats() const;
 
+    /// Record that a connection front end lost its client mid-write
+    /// (EPIPE/ECONNRESET). Purely a counter: the job itself is unaffected
+    /// and its result stays retained for a reconnecting client.
+    void note_client_disconnect();
+
     /// Stop the service: rejects further submits, cancels every queued
-    /// and running job, wakes all waiters, and blocks until the workers
-    /// drained. Idempotent; also run by the destructor.
+    /// job immediately, gives running jobs `config().drain_grace_s`
+    /// seconds to finish before cancelling them cooperatively, wakes all
+    /// waiters, and blocks until the workers drained. Idempotent; also
+    /// run by the destructor.
     void shutdown();
 
     /// The configuration this service was constructed with (with

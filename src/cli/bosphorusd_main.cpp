@@ -37,8 +37,17 @@ void usage() {
         "                       concurrency; explicit counts are honoured)\n"
         "  --max-queue N        admission bound on waiting jobs (256)\n"
         "  --max-sessions N     open sessions per client (8)\n"
+        "  --max-inflight N     per-client in-flight job quota (0 = none)\n"
         "  --default-timeout S  per-job deadline when none given (30)\n"
         "  --max-timeout S      hard cap on requested deadlines (0 = none)\n"
+        "  --drain-grace S      on shutdown, let running jobs finish for up\n"
+        "                       to S seconds before cancelling them (0)\n"
+        "  --no-deadline-admission\n"
+        "                       accept jobs even when the queue is too deep\n"
+        "                       for their deadline to be meetable\n"
+        "  --fault-plan PLAN    arm deterministic fault injection, e.g.\n"
+        "                       'backend-crash=0.3,io-enospc=1@cap1,seed=7'\n"
+        "                       (testing; also via BOSPHORUS_FAULT_PLAN)\n"
         "  --loop-solver SPEC   default in-loop SAT back end (native)\n"
         "  --cooperative        run one-shot jobs as cooperative portfolio\n"
         "                       races sharing learnt facts (verdicts are\n"
@@ -98,6 +107,20 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
             cfg.max_sessions_per_client = n;
+        } else if (arg == "--max-inflight") {
+            const char* v = next();
+            if (!v || !parse_unsigned(v, n)) { usage(); return 2; }
+            cfg.max_inflight_per_client = n;
+        } else if (arg == "--drain-grace") {
+            const char* v = next();
+            if (!v || !parse_double(v, d)) { usage(); return 2; }
+            cfg.drain_grace_s = d;
+        } else if (arg == "--no-deadline-admission") {
+            cfg.deadline_admission = false;
+        } else if (arg == "--fault-plan") {
+            const char* v = next();
+            if (!v) { usage(); return 2; }
+            cfg.fault_plan = v;
         } else if (arg == "--default-timeout") {
             const char* v = next();
             if (!v || !parse_double(v, d)) { usage(); return 2; }
@@ -129,6 +152,11 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+
+    // A client that disappears mid-write must surface as EPIPE on the
+    // connection thread, never as a process-killing SIGPIPE. The write
+    // path already uses MSG_NOSIGNAL; this covers platforms without it.
+    std::signal(SIGPIPE, SIG_IGN);
 
     // Deliver SIGINT/SIGTERM to a dedicated sigwait thread: signal
     // handlers cannot take the locks request_stop() needs.

@@ -28,6 +28,7 @@
 #include "runtime/thread_pool.h"
 #include "sat/dimacs.h"
 #include "sat/solve_cnf.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace {
@@ -102,6 +103,9 @@ void usage() {
         "  --no-xl / --no-el / --no-sat   disable a learning step\n"
         "  --gb            enable the Groebner (Buchberger/F4) step\n"
         "  --seed N        RNG seed (1)\n"
+        "  --fault-plan P  arm deterministic fault injection, e.g.\n"
+        "                  'backend-crash=0.3,seed=7' (testing; also via\n"
+        "                  the BOSPHORUS_FAULT_PLAN environment variable)\n"
         "  -v N            verbosity (0)\n"
         "  --version       print the library version and exit\n");
 }
@@ -294,6 +298,10 @@ int run(int argc, char** argv) {
         else if (a == "--no-el") opt.use_elimlin = false;
         else if (a == "--no-sat") opt.use_sat = false;
         else if (a == "--seed") opt.seed = std::stoull(next());
+        else if (a == "--fault-plan") {
+            const Status fs = fault::FaultInjector::global().arm(next());
+            if (!fs.ok()) return fail(fs);
+        }
         else if (a == "-v") opt.verbosity = std::stoi(next());
         else if (a == "-h" || a == "--help") { usage(); return 0; }
         else {

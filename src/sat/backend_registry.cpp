@@ -371,6 +371,13 @@ BackendRegistry& BackendRegistry::global() {
                 -> ::bosphorus::Result<std::unique_ptr<SolverBackend>> {
                 return make_dimacs_exec_backend(arg);
             });
+        add("resilient",
+            "retry/fallback decorator: resilient:<primary>[,<fallback>...]"
+            "[,retries=N][,attempt-timeout=S][,backoff=S]",
+            [](const std::string& arg)
+                -> ::bosphorus::Result<std::unique_ptr<SolverBackend>> {
+                return make_resilient_backend(arg);
+            });
         return r;
     }();
     return *registry;

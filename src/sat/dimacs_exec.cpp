@@ -11,6 +11,7 @@
 
 #include "sat/dimacs.h"
 #include "sat/solve_cnf.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -170,6 +171,19 @@ public:
             return Result::kUnknown;
         if (!ok_) return Result::kUnsat;
 
+        // Injected faults, evaluated exactly where the real failures
+        // strike: a crash is a child that died without output, a hang is
+        // a child that never writes, garbage is unparseable output. All
+        // three collapse to kUnknown -- the same no-verdict the genuine
+        // failure yields -- never a wrong verdict.
+        auto& inject = fault::FaultInjector::global();
+        if (inject.armed()) {
+            if (inject.should_fire(fault::Site::kBackendCrash))
+                return Result::kUnknown;
+            if (inject.should_fire(fault::Site::kBackendHang))
+                return hang_until_stopped(timeout_s);
+        }
+
         // The formula the child sees: the pre-expanded clauses plus the
         // assumptions degraded to unit clauses.
         Cnf work = expanded_;
@@ -223,6 +237,51 @@ public:
     bool supports_assumptions() const override { return false; }
 
 private:
+    /// An injected hang: behave exactly like a child that never writes
+    /// output -- burn wall-clock until the timeout, an interrupt, or the
+    /// terminate hook stops the solve, then report no verdict.
+    Result hang_until_stopped(double timeout_s) {
+        Timer timer;
+        for (;;) {
+            if (interrupted_.load(std::memory_order_acquire)) break;
+            if (terminate_cb_ && terminate_cb_()) break;
+            if (timeout_s >= 0 && timer.seconds() > timeout_s) break;
+            struct timespec ts {0, 2'000'000};  // 2 ms
+            ::nanosleep(&ts, nullptr);
+        }
+        return Result::kUnknown;
+    }
+
+    /// Stop the child's whole process group and reap it, escalating
+    /// SIGTERM -> SIGKILL: solvers that flush stats on SIGTERM get a
+    /// bounded grace window, then SIGKILL guarantees death. The final
+    /// reap may block -- after SIGKILL that is a bounded wait for the
+    /// kernel to deliver it -- so no zombie ever outlives a solve.
+    static void terminate_child(pid_t pid, int* status) {
+        ::kill(-pid, SIGTERM);
+        ::kill(pid, SIGTERM);  // in case setpgid lost the race
+        Timer grace;
+        bool reaped = false;
+        while (grace.seconds() < 0.2) {
+            const pid_t done = ::waitpid(pid, status, WNOHANG);
+            if (done == pid) {
+                reaped = true;
+                break;
+            }
+            if (done < 0 && errno != EINTR) break;
+            struct timespec ts {0, 2'000'000};  // 2 ms
+            ::nanosleep(&ts, nullptr);
+        }
+        // SIGKILL the group even when the direct child died in the grace
+        // window: an intermediate shell exiting on SIGTERM must not let a
+        // trap-armored grandchild in its process group live on.
+        ::kill(-pid, SIGKILL);
+        if (!reaped) {
+            ::kill(pid, SIGKILL);
+            while (::waitpid(pid, status, 0) < 0 && errno == EINTR) {}
+        }
+    }
+
     /// Fork/exec `command_ '<in_path>'` with stdout redirected to
     /// out_path, poll for completion / timeout / interrupt, and parse the
     /// result. The child runs in its own process group so a kill reaches
@@ -265,9 +324,7 @@ private:
             if (done < 0 && errno != EINTR) {
                 // waitpid itself failed: stop the child rather than leak
                 // it running unsupervised, then reap it.
-                ::kill(-pid, SIGKILL);
-                ::kill(pid, SIGKILL);
-                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+                terminate_child(pid, &status);
                 killed = true;
                 break;
             }
@@ -276,9 +333,7 @@ private:
                 (terminate_cb_ && terminate_cb_()) ||
                 (timeout_s >= 0 && timer.seconds() > timeout_s);
             if (stop) {
-                ::kill(-pid, SIGKILL);
-                ::kill(pid, SIGKILL);  // in case setpgid lost the race
-                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+                terminate_child(pid, &status);
                 killed = true;
                 break;
             }
@@ -288,7 +343,13 @@ private:
         if (killed) return Result::kUnknown;
 
         std::ifstream out(out_path);
-        const ParsedOutput parsed = parse_solver_output(out);
+        ParsedOutput parsed = parse_solver_output(out);
+        // Injected garbage output: what the child wrote is unparseable,
+        // exactly as if it had printed diagnostics instead of a verdict.
+        if (fault::FaultInjector::global().should_fire(
+                fault::Site::kBackendGarbage)) {
+            parsed = ParsedOutput{};
+        }
         if (parsed.result == Result::kUnknown) {
             // Distinguish "the solver gave up" from "there is no solver":
             // sh exits 127 when the command cannot be run. The interface

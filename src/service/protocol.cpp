@@ -152,6 +152,26 @@ std::string metrics_block(const ServiceStats& s) {
     put("store_mul_memo_entries", s.store.mul_memo_entries);
     put("store_mul_memo_hits", s.store.mul_memo_hits);
     put("store_mul_memo_misses", s.store.mul_memo_misses);
+    put("jobs_deadline_rejected", s.deadline_rejected);
+    put("client_disconnects", s.client_disconnects);
+    kv.emplace_back("run_ewma_s", fmt_seconds(s.ewma_run_s));
+    kv.emplace_back("fault_plan",
+                    s.fault_plan.empty() ? "-" : s.fault_plan);
+    put("faults_injected", s.faults_injected);
+    put("resilience.attempts", s.resilience_attempts);
+    put("resilience.retries", s.resilience_retries);
+    put("resilience.fallbacks", s.resilience_fallbacks);
+    put("resilience.garbage_rejected", s.resilience_garbage);
+    put("resilience.exhausted", s.resilience_exhausted);
+    put("circuit_opens", s.circuit_opens);
+    for (const auto& c : s.circuits) {
+        const std::string prefix = "circuit." + c.backend + ".";
+        kv.emplace_back(prefix + "state",
+                        sat::HealthTracker::state_name(c.state));
+        put(prefix + "failures", c.failures);
+        put(prefix + "consecutive_failures", c.consecutive_failures);
+        put(prefix + "opens", c.opens);
+    }
     kv.emplace_back("uptime_s", fmt_seconds(s.uptime_s));
 
     std::string resp = "OK METRICS " + std::to_string(kv.size()) + "\n";

@@ -51,17 +51,24 @@ private:
     size_t pos_ = 0;
 };
 
-bool write_all(int fd, const std::string& data) {
+}  // namespace
+
+bool write_all_nosignal(int fd, const std::string& data) {
+#ifdef MSG_NOSIGNAL
+    constexpr int kFlags = MSG_NOSIGNAL;
+#else
+    constexpr int kFlags = 0;  // rely on the caller ignoring SIGPIPE
+#endif
     size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-        if (n <= 0) return false;
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, kFlags);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;  // errno preserved (EPIPE for dead peers)
         off += size_t(n);
     }
     return true;
 }
-
-}  // namespace
 
 SocketServer::SocketServer(SolveService& service, std::string socket_path)
     : service_(service), socket_path_(std::move(socket_path)) {}
@@ -148,7 +155,14 @@ void SocketServer::serve_connection(int fd, uint64_t client_id) {
     std::string response;
     while (stream.next(request)) {
         const ProtocolAction action = handler.handle(request, reader, response);
-        if (!write_all(fd, response)) break;
+        if (!write_all_nosignal(fd, response)) {
+            // A client that hung up mid-RESULT is routine churn, not a
+            // server problem: count it and let this thread retire. The
+            // job itself is unaffected and stays retained for pickup.
+            if (errno == EPIPE || errno == ECONNRESET)
+                service_.note_client_disconnect();
+            break;
+        }
         if (action == ProtocolAction::kQuit) break;
         if (action == ProtocolAction::kShutdown) {
             request_stop();  // the wait()ing thread performs the teardown

@@ -26,6 +26,12 @@
 
 namespace bosphorus::service {
 
+/// SIGPIPE-safe full write: send() with MSG_NOSIGNAL, retried over
+/// EINTR and short writes. A peer that already hung up yields false with
+/// errno == EPIPE instead of a process-killing signal, so one rude
+/// client can never take a worker (or the daemon) down with it.
+bool write_all_nosignal(int fd, const std::string& data);
+
 /// Serve `service` over a Unix socket at `socket_path` (see file comment).
 class SocketServer {
 public:

@@ -23,9 +23,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -34,6 +37,7 @@
 #include "bosphorus/session.h"
 #include "runtime/cancellation.h"
 #include "runtime/thread_pool.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace bosphorus {
@@ -101,6 +105,7 @@ struct SolveService::Impl {
     struct Lane {
         std::deque<std::shared_ptr<Job>> queue;
         std::map<std::string, std::shared_ptr<SessionSlot>> sessions;
+        size_t inflight = 0;  ///< queued + running jobs of this client
     };
 
     explicit Impl(ServiceConfig cfg)
@@ -110,9 +115,27 @@ struct SolveService::Impl {
                        : cfg_.n_workers),
           pool_(workers_) {
         cfg_.n_workers = workers_;
+        if (!cfg_.fault_plan.empty()) {
+            const Status s =
+                fault::FaultInjector::global().arm(cfg_.fault_plan);
+            if (!s.ok())
+                std::fprintf(stderr, "bosphorus: ignoring fault plan: %s\n",
+                             s.to_string().c_str());
+        }
     }
 
     // ---- control plane (all under mu_) -----------------------------------
+
+    /// Milliseconds until the backlog ahead of a new submit has likely
+    /// drained: one EWMA runtime per full worker-rotation of the queue.
+    /// Requires mu_.
+    uint64_t retry_after_ms_locked() const {
+        const double ewma = ewma_run_s_ > 0 ? ewma_run_s_ : 0.05;
+        const double rotations =
+            std::ceil(double(queued_ + 1) / double(workers_));
+        const double wait_s = ewma * rotations;
+        return static_cast<uint64_t>(std::max(1.0, wait_s * 1000.0));
+    }
 
     Result<JobId> admit(std::shared_ptr<Job> job) {
         std::unique_lock<std::mutex> lk(mu_);
@@ -122,7 +145,8 @@ struct SolveService::Impl {
             ++stats_rejected_;
             return Status::unavailable(
                 "job queue full (" + std::to_string(queued_) + " queued, cap " +
-                std::to_string(cfg_.max_queued_jobs) + "); retry later");
+                std::to_string(cfg_.max_queued_jobs) + ") retry_after_ms=" +
+                std::to_string(retry_after_ms_locked()));
         }
         Lane* lane = lane_for_locked(job->client);
         if (lane == nullptr) {
@@ -131,13 +155,51 @@ struct SolveService::Impl {
                 "client table full (cap " + std::to_string(cfg_.max_clients) +
                 " clients)");
         }
+        if (cfg_.max_inflight_per_client > 0 &&
+            lane->inflight >= cfg_.max_inflight_per_client) {
+            ++stats_rejected_;
+            return Status::unavailable(
+                "client '" + job->client + "' at its in-flight quota (" +
+                std::to_string(cfg_.max_inflight_per_client) +
+                " jobs) retry_after_ms=" +
+                std::to_string(retry_after_ms_locked()));
+        }
+        // Deadline-aware admission: with all workers busy, a new job waits
+        // ~one EWMA runtime per worker-rotation of the queue and then runs
+        // for ~one more. If that already overshoots its own deadline,
+        // admitting it only burns a slot on work that will expire -- shed
+        // it now, with a hint for when to retry. The estimate needs a few
+        // observed runtimes before it is trusted.
+        if (cfg_.deadline_admission && ewma_samples_ >= 4 &&
+            running_ >= workers_) {
+            const double est_wait_s =
+                ewma_run_s_ *
+                std::ceil(double(queued_ + 1) / double(workers_));
+            if (est_wait_s + ewma_run_s_ > job->timeout_s) {
+                ++stats_rejected_;
+                ++stats_deadline_rejected_;
+                return Status::unavailable(
+                    "deadline " + std::to_string(job->timeout_s) +
+                    "s unmeetable at current depth (est wait " +
+                    std::to_string(est_wait_s) + "s) retry_after_ms=" +
+                    std::to_string(retry_after_ms_locked()));
+            }
+        }
         job->id = next_id_++;
         jobs_.emplace(job->id, job);
         lane->queue.push_back(job);
+        ++lane->inflight;
         ++queued_;
         ++stats_accepted_;
         dispatch_locked();
         return job->id;
+    }
+
+    /// A job of `client` left the in-flight set (terminal). Requires mu_.
+    void release_inflight_locked(const std::string& client) {
+        auto it = lanes_.find(client);
+        if (it != lanes_.end() && it->second.inflight > 0)
+            --it->second.inflight;
     }
 
     /// The lane for `client`, created on first use; nullptr when the
@@ -199,6 +261,16 @@ struct SolveService::Impl {
     // ---- data plane (outside mu_) ----------------------------------------
 
     void run_job(std::shared_ptr<Job> job) {
+        // Injected dispatch stall: the job sits on its worker slot doing
+        // nothing for a bounded moment, as a heavily-loaded scheduler
+        // would make it. Charged to queue wait, not to the job's deadline
+        // (which starts below, like for any other dispatch latency).
+        if (fault::FaultInjector::global().should_fire(
+                fault::Site::kQueueDelay)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            std::lock_guard<std::mutex> lk(mu_);
+            job->queued_s = job->since_submit.seconds();
+        }
         const Timer run_timer;
         const Clock::time_point deadline = deadline_from_now(job->timeout_s);
         const runtime::CancellationToken token =
@@ -249,6 +321,7 @@ struct SolveService::Impl {
         if (job->slot) job->slot->busy = false;
         --running_;
         account_locked(*job);
+        release_inflight_locked(job->client);
         retain_locked(job->id);
         dispatch_locked();
         lk.unlock();
@@ -313,6 +386,13 @@ struct SolveService::Impl {
             par2_sum_ += decided ? job.run_s : 2.0 * job.timeout_s;
             ++par2_jobs_;
         }
+        if (job.run_s > 0.0) {
+            // EWMA of observed runtimes, feeding deadline admission.
+            ewma_run_s_ = ewma_samples_ == 0
+                              ? job.run_s
+                              : 0.9 * ewma_run_s_ + 0.1 * job.run_s;
+            ++ewma_samples_;
+        }
         if (job.state != JobState::kFailed) {
             BackendVerdicts& tally = backend_verdicts_[backend_key(job.cfg)];
             if (job.report.verdict == sat::Result::kSat) ++tally.sat;
@@ -334,16 +414,25 @@ struct SolveService::Impl {
         std::unique_lock<std::mutex> lk(mu_);
         if (!stopping_) {
             stopping_ = true;
+            // Queued jobs never started: cancel them in place, always.
             for (auto& [key, lane] : lanes_) {
                 for (auto& job : lane.queue) {
                     if (job->state != JobState::kQueued) continue;
                     job->state = JobState::kCancelled;
                     ++stats_cancelled_;
+                    release_inflight_locked(job->client);
                     retain_locked(job->id);
                 }
                 lane.queue.clear();
             }
             queued_ = 0;
+            // Graceful drain: running jobs get the grace window (their
+            // own deadlines still apply) before the cooperative cancel.
+            if (cfg_.drain_grace_s > 0.0 && running_ > 0) {
+                cv_.wait_for(lk,
+                             std::chrono::duration<double>(cfg_.drain_grace_s),
+                             [this] { return running_ == 0; });
+            }
             for (auto& [id, job] : jobs_) {
                 if (job->state == JobState::kRunning)
                     job->cancel.request_cancel();
@@ -374,12 +463,16 @@ struct SolveService::Impl {
 
     uint64_t stats_accepted_ = 0;
     uint64_t stats_rejected_ = 0;
+    uint64_t stats_deadline_rejected_ = 0;
+    uint64_t stats_client_disconnects_ = 0;
     uint64_t stats_completed_ = 0;
     uint64_t stats_cancelled_ = 0;
     uint64_t stats_expired_ = 0;
     uint64_t stats_failed_ = 0;
     double par2_sum_ = 0.0;
     uint64_t par2_jobs_ = 0;
+    double ewma_run_s_ = 0.0;
+    uint64_t ewma_samples_ = 0;
     std::map<std::string, BackendVerdicts> backend_verdicts_;
     Timer uptime_;
 };
@@ -552,6 +645,7 @@ Status SolveService::cancel(JobId id) {
         job->queued_s = job->since_submit.seconds();
         --impl_->queued_;
         ++impl_->stats_cancelled_;
+        impl_->release_inflight_locked(job->client);
         impl_->retain_locked(id);
         lk.unlock();
         impl_->cv_.notify_all();
@@ -567,6 +661,9 @@ ServiceStats SolveService::stats() const {
         std::lock_guard<std::mutex> lk(impl_->mu_);
         s.accepted = impl_->stats_accepted_;
         s.rejected = impl_->stats_rejected_;
+        s.deadline_rejected = impl_->stats_deadline_rejected_;
+        s.client_disconnects = impl_->stats_client_disconnects_;
+        s.ewma_run_s = impl_->ewma_run_s_;
         s.completed = impl_->stats_completed_;
         s.cancelled = impl_->stats_cancelled_;
         s.expired = impl_->stats_expired_;
@@ -585,7 +682,31 @@ ServiceStats SolveService::stats() const {
         s.uptime_s = impl_->uptime_.seconds();
     }
     s.store = anf::MonomialStore::global().stats();
+
+    // Process-global resilience / fault surface, read through so one
+    // METRICS round trip shows the whole failure-handling picture.
+    auto& inject = fault::FaultInjector::global();
+    s.fault_plan = inject.plan();
+    s.faults_injected = inject.total_fired();
+    const auto& counters = sat::resilience_counters();
+    s.resilience_attempts =
+        counters.attempts.load(std::memory_order_relaxed);
+    s.resilience_retries = counters.retries.load(std::memory_order_relaxed);
+    s.resilience_fallbacks =
+        counters.fallbacks.load(std::memory_order_relaxed);
+    s.resilience_garbage =
+        counters.garbage_rejected.load(std::memory_order_relaxed);
+    s.resilience_exhausted =
+        counters.exhausted.load(std::memory_order_relaxed);
+    const auto& health = sat::BackendRegistry::global().health();
+    s.circuit_opens = health.total_opens();
+    s.circuits = health.snapshot();
     return s;
+}
+
+void SolveService::note_client_disconnect() {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    ++impl_->stats_client_disconnects_;
 }
 
 void SolveService::shutdown() { impl_->shutdown(); }

@@ -4,6 +4,8 @@
 
 #include <cctype>
 
+#include "util/fault.h"
+
 namespace bosphorus::stream {
 
 using ::bosphorus::Result;
@@ -25,6 +27,11 @@ FileByteSource::~FileByteSource() {
 
 size_t FileByteSource::read(char* buf, size_t cap) {
     if (!f_) return 0;
+    if (fault::FaultInjector::global().should_fire(
+            fault::Site::kIoReadError)) {
+        bad_ = true;  // sticky, exactly like a real fread failure
+        return 0;
+    }
     const size_t n = std::fread(buf, 1, cap, f_);
     if (n < cap && std::ferror(f_)) bad_ = true;
     return n;

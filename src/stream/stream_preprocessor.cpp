@@ -40,6 +40,7 @@
 #include "sat/preprocess.h"
 #include "sat/solve_cnf.h"
 #include "stream/dimacs_tokenizer.h"
+#include "util/fault.h"
 #include "util/mem.h"
 #include "util/timer.h"
 
@@ -86,7 +87,7 @@ public:
             line_.push_back(' ');
         }
         line_ += "0\n";
-        out_ << line_;
+        write_line();
         ++constraints_;
     }
 
@@ -94,7 +95,7 @@ public:
         line_.clear();
         append_int(l.to_dimacs());
         line_ += " 0\n";
-        out_ << line_;
+        write_line();
         ++constraints_;
     }
 
@@ -109,11 +110,15 @@ public:
                            : static_cast<int64_t>(vars[i] + 1));
         }
         line_ += " 0\n";
-        out_ << line_;
+        write_line();
         ++constraints_;
     }
 
     uint64_t constraints() const { return constraints_; }
+
+    /// False once any write failed (badbit from a real short write, or an
+    /// injected io-short-write / io-enospc fault).
+    bool ok() const { return static_cast<bool>(out_); }
 
     /// Patch the header and return total bytes written.
     uint64_t finish(uint64_t num_vars) {
@@ -133,6 +138,25 @@ private:
                       static_cast<unsigned long long>(vars),
                       static_cast<unsigned long long>(constraints));
         out_ << buf;
+    }
+
+    void write_line() {
+        auto& inject = fault::FaultInjector::global();
+        if (inject.armed()) {
+            if (inject.should_fire(fault::Site::kIoShortWrite)) {
+                // Half the bytes land, then the device fails -- the same
+                // stream state a genuine short write leaves behind.
+                out_.write(line_.data(),
+                           static_cast<std::streamsize>(line_.size() / 2));
+                out_.setstate(std::ios::badbit);
+                return;
+            }
+            if (inject.should_fire(fault::Site::kIoEnospc)) {
+                out_.setstate(std::ios::badbit);
+                return;
+            }
+        }
+        out_ << line_;
     }
 
     void append_int(int64_t v) {
@@ -710,6 +734,11 @@ Status Pipeline::flush_window(DimacsStreamWriter& writer) {
         emit_xor(writer, scratch_vars_, x.rhs);
     }
 
+    if (!writer.ok())
+        return Status::io_error(
+            "write to preprocessed output failed (short write or no space "
+            "left on device)");
+
     acct_.release(transient + win_bytes_);
     win_pool_.clear();
     win_ends_.clear();
@@ -906,6 +935,10 @@ Result<StreamPreprocessStats> Pipeline::run(ByteSource& src,
 
     stats_.num_vars_out = std::max<uint64_t>(out_num_vars_, 1);
     stats_.bytes_out = writer.finish(stats_.num_vars_out);
+    if (!writer.ok())
+        return Status::io_error(
+            "write to preprocessed output failed (short write or no space "
+            "left on device)");
     stats_.peak_accounted_bytes = acct_.peak();
     stats_.peak_rss_bytes = util::peak_rss_bytes();
     stats_.seconds = timer.seconds();
@@ -953,15 +986,33 @@ Result<StreamPreprocessStats> StreamPreprocessor::run(
     stream::FileByteSource src(input_path);
     if (!src.is_open())
         return Status::io_error("cannot read " + input_path);
-    std::ofstream out(output_path,
-                      std::ios::binary | std::ios::trunc | std::ios::out);
-    if (!out) return Status::io_error("cannot write " + output_path);
-    Pipeline pipeline(cfg_);
-    auto r = pipeline.run(src, src.size_bytes(), out);
-    if (r.ok()) {
-        out.flush();
-        if (!out)
-            return Status::io_error("write to " + output_path + " failed");
+
+    // Emit into a sibling temp file and rename into place only after a
+    // fully flushed, validated run: a crash or an I/O failure mid-emit can
+    // never leave a truncated file masquerading as preprocessed output,
+    // and a pre-existing file at output_path survives a failed run intact.
+    const std::string tmp_path = output_path + ".tmp";
+    Result<StreamPreprocessStats> r = Status::internal("unreachable");
+    {
+        std::ofstream out(tmp_path,
+                          std::ios::binary | std::ios::trunc | std::ios::out);
+        if (!out) return Status::io_error("cannot write " + tmp_path);
+        Pipeline pipeline(cfg_);
+        r = pipeline.run(src, src.size_bytes(), out);
+        if (r.ok()) {
+            out.flush();
+            if (!out)
+                r = Status::io_error("write to " + tmp_path + " failed");
+        }
+    }
+    if (!r.ok()) {
+        std::remove(tmp_path.c_str());
+        return r;
+    }
+    if (std::rename(tmp_path.c_str(), output_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return Status::io_error("cannot move " + tmp_path + " into place at " +
+                                output_path);
     }
     return r;
 }

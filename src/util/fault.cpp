@@ -1,0 +1,215 @@
+#include "util/fault.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bosphorus::fault {
+namespace {
+
+/// splitmix64: the same finalising mixer rng.h uses for seeding -- one
+/// well-distributed 64-bit output per distinct input.
+uint64_t mix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "backend-crash",  "backend-hang", "backend-garbage", "io-short-write",
+    "io-enospc",      "io-read-error", "queue-delay",
+};
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+int site_index(const std::string& name) {
+    for (size_t i = 0; i < kNumSites; ++i) {
+        if (name == kSiteNames[i]) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string known_sites() {
+    std::string out;
+    for (size_t i = 0; i < kNumSites; ++i) {
+        if (i) out += ", ";
+        out += kSiteNames[i];
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* site_name(Site s) {
+    const auto i = static_cast<size_t>(s);
+    return i < kNumSites ? kSiteNames[i] : "?";
+}
+
+FaultInjector& FaultInjector::global() {
+    static FaultInjector* injector = [] {
+        auto* inj = new FaultInjector();
+        if (const char* env = std::getenv("BOSPHORUS_FAULT_PLAN")) {
+            if (*env != '\0') {
+                const Status s = inj->arm(env);
+                if (!s.ok()) {
+                    std::fprintf(stderr,
+                                 "bosphorus: ignoring BOSPHORUS_FAULT_PLAN: "
+                                 "%s\n",
+                                 s.to_string().c_str());
+                }
+            }
+        }
+        return inj;
+    }();
+    return *injector;
+}
+
+Status FaultInjector::arm(const std::string& plan) {
+    // Parse into locals first: on any error the previous plan stays whole.
+    uint64_t seed = 1;
+    uint64_t threshold[kNumSites] = {};
+    uint64_t cap[kNumSites] = {};
+    for (size_t i = 0; i < kNumSites; ++i) cap[i] = UINT64_MAX;
+
+    const std::string trimmed = trim(plan);
+    size_t pos = 0;
+    while (pos < trimmed.size()) {
+        size_t comma = trimmed.find(',', pos);
+        if (comma == std::string::npos) comma = trimmed.size();
+        const std::string entry = trim(trimmed.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (entry.empty()) continue;
+
+        const size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            return Status::invalid_argument(
+                "fault plan entry '" + entry +
+                "' is not '<site>=<probability>' (sites: " + known_sites() +
+                "; plus seed=N)");
+        const std::string key = trim(entry.substr(0, eq));
+        std::string value = trim(entry.substr(eq + 1));
+
+        if (key == "seed") {
+            char* end = nullptr;
+            errno = 0;
+            const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+            if (errno != 0 || end == value.c_str() || *end != '\0')
+                return Status::invalid_argument("fault plan seed '" + value +
+                                                "' is not an integer");
+            seed = static_cast<uint64_t>(n);
+            continue;
+        }
+
+        const int idx = site_index(key);
+        if (idx < 0)
+            return Status::invalid_argument("unknown fault site '" + key +
+                                            "' (sites: " + known_sites() +
+                                            ")");
+
+        uint64_t entry_cap = UINT64_MAX;
+        const size_t at = value.find('@');
+        if (at != std::string::npos) {
+            const std::string cap_str = trim(value.substr(at + 1));
+            char* end = nullptr;
+            errno = 0;
+            const unsigned long long n =
+                std::strtoull(cap_str.c_str(), &end, 10);
+            if (errno != 0 || end == cap_str.c_str() || *end != '\0')
+                return Status::invalid_argument("fault plan cap '@" + cap_str +
+                                                "' is not an integer");
+            entry_cap = static_cast<uint64_t>(n);
+            value = trim(value.substr(0, at));
+        }
+
+        char* end = nullptr;
+        errno = 0;
+        const double p = std::strtod(value.c_str(), &end);
+        if (errno != 0 || end == value.c_str() || *end != '\0' || p < 0.0 ||
+            p > 1.0)
+            return Status::invalid_argument("fault probability '" + value +
+                                            "' for site '" + key +
+                                            "' is not in [0,1]");
+        // Probability -> threshold over the full u64 range. p=1 must fire
+        // on every draw, so it saturates rather than wrapping to 0.
+        threshold[idx] =
+            p >= 1.0 ? UINT64_MAX
+                     : static_cast<uint64_t>(p * 18446744073709551616.0);
+        cap[idx] = entry_cap;
+    }
+
+    bool any = false;
+    for (size_t i = 0; i < kNumSites; ++i) any = any || threshold[i] != 0;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Quiesce: readers observing armed_==false skip the tables entirely,
+    // so the non-atomic threshold/cap writes below cannot race them.
+    armed_.store(false, std::memory_order_seq_cst);
+    plan_ = any ? trimmed : std::string();
+    seed_ = seed;
+    for (size_t i = 0; i < kNumSites; ++i) {
+        threshold_[i] = threshold[i];
+        cap_[i] = cap[i];
+        evaluated_[i].store(0, std::memory_order_relaxed);
+        fired_[i].store(0, std::memory_order_relaxed);
+    }
+    if (any) armed_.store(true, std::memory_order_release);
+    return Status();
+}
+
+void FaultInjector::disarm() { (void)arm(""); }
+
+bool FaultInjector::should_fire(Site site) {
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    const auto i = static_cast<size_t>(site);
+    if (i >= kNumSites) return false;
+    const uint64_t threshold = threshold_[i];
+    if (threshold == 0) return false;
+    // One draw per evaluation: the sequence index is the atomic counter,
+    // so the outcome multiset is deterministic regardless of which thread
+    // draws which index.
+    const uint64_t n = evaluated_[i].fetch_add(1, std::memory_order_relaxed);
+    const uint64_t draw = mix64(seed_ ^ (0x100000001B3ull * (i + 1)) ^ n);
+    const bool fire = draw < threshold || threshold == UINT64_MAX;
+    if (!fire) return false;
+    // Enforce the @cap on *fired* count, first-come-first-served.
+    const uint64_t k = fired_[i].fetch_add(1, std::memory_order_relaxed);
+    if (k >= cap_[i]) {
+        fired_[i].fetch_sub(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+std::string FaultInjector::plan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_;
+}
+
+std::vector<std::pair<std::string, SiteStats>> FaultInjector::stats() const {
+    std::vector<std::pair<std::string, SiteStats>> out;
+    out.reserve(kNumSites);
+    for (size_t i = 0; i < kNumSites; ++i) {
+        SiteStats s;
+        s.evaluated = evaluated_[i].load(std::memory_order_relaxed);
+        s.fired = fired_[i].load(std::memory_order_relaxed);
+        out.emplace_back(kSiteNames[i], s);
+    }
+    return out;
+}
+
+uint64_t FaultInjector::total_fired() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i < kNumSites; ++i)
+        total += fired_[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+}  // namespace bosphorus::fault

@@ -1,0 +1,129 @@
+// Deterministic fault injection: named failure sites compiled into the
+// production binary, inert (one relaxed atomic load) until a plan arms
+// them.
+//
+// A plan is a comma-separated list of `site=probability` entries plus an
+// optional `seed=N`, e.g.
+//
+//     backend-crash=0.3,io-enospc=1,seed=42
+//
+// armed via the BOSPHORUS_FAULT_PLAN environment variable, the
+// `--fault-plan` CLI flag, or ServiceConfig::fault_plan. Each entry may
+// cap its firings with `@N` (`backend-crash=1@2`: the first two
+// evaluations fire, the rest pass).
+//
+// Determinism: every evaluation of a site draws the next element of a
+// per-site pseudo-random sequence derived from (seed, site, per-site
+// evaluation counter) via splitmix64. The counter is a single atomic, so
+// concurrent threads split the sequence between them -- WHICH thread sees
+// a firing may vary, but the multiset of fire/pass outcomes over the
+// first k evaluations of a site is a pure function of (plan, k). That is
+// what the fault-injection tests pin down under BOSPHORUS_TEST_SEED.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bosphorus/status.h"
+
+namespace bosphorus::fault {
+
+/// Every named injection site. Keep site_name() in sync.
+enum class Site : uint8_t {
+    kBackendCrash = 0,   ///< external solver dies (as if the child crashed)
+    kBackendHang,        ///< external solver hangs until timeout/interrupt
+    kBackendGarbage,     ///< solver emits unparseable / nonconforming output
+    kIoShortWrite,       ///< a file write persists fewer bytes than asked
+    kIoEnospc,           ///< a file write fails outright (disk full)
+    kIoReadError,        ///< a file read fails mid-stream (EIO)
+    kQueueDelay,         ///< service dispatch stalls a queued job
+    kCount_              ///< sentinel, not a site
+};
+
+inline constexpr size_t kNumSites = static_cast<size_t>(Site::kCount_);
+
+/// The wire/plan name of a site ("backend-crash", ...).
+const char* site_name(Site s);
+
+/// Per-site counters, as returned by FaultInjector::stats().
+struct SiteStats {
+    uint64_t evaluated = 0;  ///< should_fire() calls while armed
+    uint64_t fired = 0;      ///< of those, how many injected the fault
+};
+
+/// The process-global injector. Thread-safe throughout; disarmed cost is
+/// one relaxed atomic load per should_fire().
+class FaultInjector {
+public:
+    /// The singleton. On first use, arms itself from BOSPHORUS_FAULT_PLAN
+    /// if that variable is set and non-empty (a malformed env plan aborts
+    /// via the returned-status-ignored path: it is logged to stderr and
+    /// left disarmed rather than silently half-armed).
+    static FaultInjector& global();
+
+    /// Parse `plan` and arm. An empty plan disarms. Replaces any previous
+    /// plan and resets all counters. kInvalidArgument on syntax errors,
+    /// unknown sites, or probabilities outside [0,1]; the previous plan
+    /// stays in force on error.
+    Status arm(const std::string& plan);
+
+    /// Drop the plan; every site becomes a guaranteed pass.
+    void disarm();
+
+    /// True iff a non-empty plan is in force.
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /// Should the fault at `site` fire now? False always when disarmed.
+    bool should_fire(Site site);
+
+    /// The plan string currently armed ("" when disarmed).
+    std::string plan() const;
+
+    /// Snapshot of per-site counters (all sites, armed or not), in Site
+    /// enum order.
+    std::vector<std::pair<std::string, SiteStats>> stats() const;
+
+    /// Total faults injected since the last arm()/disarm().
+    uint64_t total_fired() const;
+
+private:
+    FaultInjector() = default;
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;  // guards plan_/prob_/cap_ (reads under arm race)
+    std::string plan_;
+    uint64_t seed_ = 1;
+    // Per-site firing threshold in 2^-64 units (0 = never) and cap
+    // (UINT64_MAX = uncapped). Written under mu_ with armed_ false, read
+    // lock-free from should_fire() -- the release store to armed_ in arm()
+    // publishes them.
+    uint64_t threshold_[kNumSites] = {};
+    uint64_t cap_[kNumSites] = {};
+    std::atomic<uint64_t> evaluated_[kNumSites] = {};
+    std::atomic<uint64_t> fired_[kNumSites] = {};
+};
+
+/// RAII plan for tests: arms on construction, restores the previous plan
+/// on destruction.
+class ScopedFaultPlan {
+public:
+    explicit ScopedFaultPlan(const std::string& plan)
+        : previous_(FaultInjector::global().plan()) {
+        status_ = FaultInjector::global().arm(plan);
+    }
+    ~ScopedFaultPlan() { (void)FaultInjector::global().arm(previous_); }
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+    const Status& status() const { return status_; }
+
+private:
+    std::string previous_;
+    Status status_;
+};
+
+}  // namespace bosphorus::fault

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 
@@ -25,9 +26,11 @@
 #include "cnfgen/generators.h"
 #include "sat/dimacs.h"
 #include "test_util.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #define BOSPHORUS_EXEC_TESTS 1
@@ -179,6 +182,165 @@ TEST(DimacsExec, InterruptKillsTheChildFromAnotherThread) {
     // Sticky, then recoverable.
     EXPECT_EQ(b.solve(-1, 1.0), Result::kUnknown);
     b.clear_interrupt();
+}
+
+/// Count children of this process currently in zombie (Z) state by
+/// scanning /proc. Returns 0 on platforms without /proc.
+int zombie_children() {
+    int zombies = 0;
+#ifdef __linux__
+    DIR* proc = ::opendir("/proc");
+    if (!proc) return 0;
+    const pid_t self = ::getpid();
+    while (dirent* e = ::readdir(proc)) {
+        char* end = nullptr;
+        const long pid = std::strtol(e->d_name, &end, 10);
+        if (end == e->d_name || *end != '\0') continue;
+        std::ifstream stat("/proc/" + std::string(e->d_name) + "/stat");
+        std::string line;
+        if (!std::getline(stat, line)) continue;
+        // Fields after the parenthesised comm: "... ) <state> <ppid> ..."
+        const size_t close = line.rfind(')');
+        if (close == std::string::npos || close + 2 >= line.size()) continue;
+        const char state = line[close + 2];
+        long ppid = 0;
+        std::sscanf(line.c_str() + close + 3, " %ld", &ppid);
+        if (state == 'Z' && static_cast<pid_t>(ppid) == self) ++zombies;
+    }
+    ::closedir(proc);
+#endif
+    return zombies;
+}
+
+/// Count live processes whose cmdline mentions `needle` (catching
+/// orphans reparented to init, which zombie_children() cannot see).
+int processes_running(const std::string& needle) {
+    int running = 0;
+#ifdef __linux__
+    DIR* proc = ::opendir("/proc");
+    if (!proc) return 0;
+    while (dirent* e = ::readdir(proc)) {
+        char* end = nullptr;
+        const long pid = std::strtol(e->d_name, &end, 10);
+        if (end == e->d_name || *end != '\0') continue;
+        std::ifstream cmd("/proc/" + std::string(e->d_name) + "/cmdline");
+        std::string line((std::istreambuf_iterator<char>(cmd)),
+                         std::istreambuf_iterator<char>());
+        if (line.find(needle) != std::string::npos) ++running;
+    }
+    ::closedir(proc);
+#endif
+    return running;
+}
+
+TEST(DimacsExec, SigtermResistantChildIsKilledWithoutZombies) {
+    // The script traps SIGTERM, so only the escalation to SIGKILL (after
+    // the bounded grace period) can end it -- and the SIGKILL must reach
+    // the whole process group: /bin/sh dying on the initial SIGTERM must
+    // not leave the trap-armored script running as an orphan. Afterwards
+    // the child must be reaped, never abandoned as a zombie.
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string stubborn = write_script(
+        "fake_stubborn.sh", "trap '' TERM\nsleep 600\n");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(solve_via(stubborn, cnf, /*timeout_s=*/0.3), Result::kUnknown);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(waited, 30.0) << "SIGKILL escalation must not hang";
+    EXPECT_EQ(zombie_children(), 0)
+        << "the killed child must be reaped, not abandoned as a zombie";
+    // SIGKILL delivery to the group can take a beat; poll briefly.
+    int survivors = -1;
+    for (int i = 0; i < 250; ++i) {
+        survivors = processes_running("fake_stubborn.sh");
+        if (survivors == 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(survivors, 0)
+        << "no process in the child's group may outlive the solve";
+}
+
+TEST(DimacsExec, InjectedCrashFaultYieldsUnknownWithoutRunningTheChild) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string marker = ::testing::TempDir() + "/crash_marker";
+    std::remove(marker.c_str());
+    const std::string script = write_script(
+        "fake_marker.sh",
+        "touch " + marker + "\necho 's SATISFIABLE'\necho 'v 1 0'\n");
+
+    fault::ScopedFaultPlan plan(
+        "backend-crash=1@1,seed=" + std::to_string(testutil::test_seed()));
+    ASSERT_TRUE(plan.status().ok());
+    EXPECT_EQ(solve_via(script, cnf), Result::kUnknown)
+        << "an injected crash is a failed attempt, reported as kUnknown";
+    EXPECT_FALSE(std::ifstream(marker).good())
+        << "the crash strikes before the child is spawned";
+
+    // The cap is spent: the next solve runs the real command.
+    EXPECT_EQ(solve_via(script, cnf), Result::kSat);
+    std::remove(marker.c_str());
+}
+
+TEST(DimacsExec, InjectedHangFaultEndsAtTheDeadlineWithoutZombies) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string honest = write_script(
+        "fake_honest.sh", "echo 's SATISFIABLE'\necho 'v 1 0'\n");
+
+    fault::ScopedFaultPlan plan(
+        "backend-hang=1@1,seed=" + std::to_string(testutil::test_seed()));
+    ASSERT_TRUE(plan.status().ok());
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(solve_via(honest, cnf, /*timeout_s=*/0.3), Result::kUnknown);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(waited, 0.25) << "the hang must last until the deadline";
+    EXPECT_LT(waited, 30.0) << "and end at the deadline, not run away";
+    EXPECT_EQ(zombie_children(), 0);
+}
+
+TEST(DimacsExec, InjectedGarbageFaultIsNoVerdict) {
+    Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.add_clause({mk_lit(0, false)});
+    const std::string honest = write_script(
+        "fake_honest2.sh", "echo 's SATISFIABLE'\necho 'v 1 0'\n");
+
+    fault::ScopedFaultPlan plan(
+        "backend-garbage=1@1,seed=" + std::to_string(testutil::test_seed()));
+    ASSERT_TRUE(plan.status().ok());
+    EXPECT_EQ(solve_via(honest, cnf), Result::kUnknown)
+        << "garbled solver output must never become a verdict";
+    EXPECT_EQ(solve_via(honest, cnf), Result::kSat)
+        << "the cap is spent; honest output is believed again";
+}
+
+TEST(DimacsExec, ResilientChainSurvivesACrashingExternalPrimary) {
+    // End-to-end: a dimacs-exec primary that dies instantly, decorated
+    // by the resilient chain, must degrade to the in-process floor and
+    // still produce the right verdict -- the ISSUE's headline scenario.
+    Cnf cnf;
+    cnf.num_vars = 2;
+    cnf.add_clause({mk_lit(0, false)});
+    cnf.add_clause({mk_lit(0, true), mk_lit(1, false)});
+    const std::string crasher = write_script("fake_crash.sh", "exit 139\n");
+
+    auto backend = BackendRegistry::global().create(SolverSpec{
+        "resilient:dimacs-exec:" + crasher + ",retries=1,backoff=0.001"});
+    ASSERT_TRUE(backend.ok()) << backend.status().to_string();
+    SolverBackend& b = **backend;
+    ASSERT_TRUE(b.load(cnf));
+    EXPECT_EQ(b.solve(-1, 30.0), Result::kSat);
+    EXPECT_EQ(b.value(0), LBool::kTrue);
+    EXPECT_EQ(b.value(1), LBool::kTrue);
+    BackendRegistry::global().health().reset();
 }
 
 // ---- the real thing: this binary as the external solver --------------------

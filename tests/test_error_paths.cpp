@@ -130,3 +130,104 @@ TEST(TseitinExpander, GjeSolverDecidesInstantly) {
 }
 }  // namespace
 }  // namespace bosphorus
+// Appended: stream-preprocessor I/O fault injection (PR 9). Injected
+// short writes, ENOSPC and read errors must surface as structured Status
+// values and must never leave a partial output file (or its temp twin)
+// behind.
+#include <fstream>
+#include <string>
+
+#include "bosphorus/stream.h"
+#include "util/fault.h"
+
+namespace bosphorus {
+namespace {
+
+namespace streamfault {
+
+std::string write_input(const std::string& name) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << "p cnf 4 5\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n-3 -4 0\n";
+    EXPECT_TRUE(static_cast<bool>(out));
+    return path;
+}
+
+bool exists(const std::string& path) {
+    return std::ifstream(path).good();
+}
+
+std::string seeded_plan(const std::string& plan) {
+    return plan + ",seed=" + std::to_string(testutil::test_seed());
+}
+
+/// Run the preprocessor under `plan`; the fault must yield kIoError and
+/// leave neither the output nor the temp file behind.
+void expect_clean_io_failure(const std::string& plan, const char* tag) {
+    const std::string in = write_input(std::string("sfault_") + tag + ".cnf");
+    const std::string out_path =
+        ::testing::TempDir() + std::string("sfault_") + tag + ".out.cnf";
+
+    fault::ScopedFaultPlan scoped(seeded_plan(plan));
+    ASSERT_TRUE(scoped.status().ok()) << scoped.status().to_string();
+
+    StreamPreprocessor pp;
+    const auto r = pp.run(in, out_path);
+    ASSERT_FALSE(r.ok()) << tag << ": the injected fault must surface";
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError) << tag;
+    EXPECT_FALSE(exists(out_path))
+        << tag << ": no partial output may be left behind";
+    EXPECT_FALSE(exists(out_path + ".tmp"))
+        << tag << ": the temp file must be cleaned up";
+    std::remove(in.c_str());
+}
+
+}  // namespace streamfault
+
+TEST(StreamFaults, ShortWriteMidEmitLeavesNoPartialFile) {
+    streamfault::expect_clean_io_failure("io-short-write=1@1", "shortwrite");
+}
+
+TEST(StreamFaults, EnospcMidEmitLeavesNoPartialFile) {
+    streamfault::expect_clean_io_failure("io-enospc=1@1", "enospc");
+}
+
+TEST(StreamFaults, ReadErrorMidPassLeavesNoPartialFile) {
+    streamfault::expect_clean_io_failure("io-read-error=1@2", "readerr");
+}
+
+TEST(StreamFaults, FaultyRunLeavesAPreexistingOutputIntact) {
+    const std::string in = streamfault::write_input("sfault_keep.cnf");
+    const std::string out_path = ::testing::TempDir() + "sfault_keep.out.cnf";
+    {
+        std::ofstream prev(out_path, std::ios::trunc);
+        prev << "previous contents\n";
+    }
+    fault::ScopedFaultPlan scoped(
+        streamfault::seeded_plan("io-enospc=1@1"));
+    ASSERT_TRUE(scoped.status().ok());
+    StreamPreprocessor pp;
+    ASSERT_FALSE(pp.run(in, out_path).ok());
+    std::ifstream check(out_path);
+    std::string line;
+    ASSERT_TRUE(std::getline(check, line));
+    EXPECT_EQ(line, "previous contents")
+        << "a failed run must not clobber the previous output";
+    std::remove(in.c_str());
+    std::remove(out_path.c_str());
+}
+
+TEST(StreamFaults, SuccessfulRunLeavesNoTempFile) {
+    const std::string in = streamfault::write_input("sfault_ok.cnf");
+    const std::string out_path = ::testing::TempDir() + "sfault_ok.out.cnf";
+    StreamPreprocessor pp;
+    const auto r = pp.run(in, out_path);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_TRUE(streamfault::exists(out_path));
+    EXPECT_FALSE(streamfault::exists(out_path + ".tmp"));
+    std::remove(in.c_str());
+    std::remove(out_path.c_str());
+}
+
+}  // namespace
+}  // namespace bosphorus

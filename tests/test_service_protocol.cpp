@@ -4,12 +4,18 @@
 // deterministic and sanitizer-friendly.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <deque>
 #include <string>
 #include <vector>
 
 #include "bosphorus/bosphorus.h"
 #include "service/protocol.h"
+#include "service/server.h"
+#include "util/fault.h"
 
 namespace bosphorus {
 namespace {
@@ -229,6 +235,83 @@ TEST(Protocol, RejectionIsStructuredOverTheWire) {
     const std::string resp = wire.request("SUBMIT me anf 5 - 5", kPaperAnf);
     EXPECT_EQ(resp.rfind("ERR UNAVAILABLE", 0), 0u) << resp;
     EXPECT_NE(resp.find("queue full"), std::string::npos);
+    // Backpressure rejections always carry a machine-readable retry hint.
+    EXPECT_NE(resp.find("retry_after_ms="), std::string::npos) << resp;
+}
+
+TEST(Protocol, InflightQuotaIsEnforcedPerClient) {
+    // The queue-delay fault parks the first job in the worker for 25 ms,
+    // long enough that the same client's second submit deterministically
+    // finds it still in flight.
+    ServiceConfig cfg = quick_service();
+    cfg.max_inflight_per_client = 1;
+    cfg.fault_plan = "queue-delay=1,seed=7";
+    struct Disarm {
+        ~Disarm() { (void)fault::FaultInjector::global().arm(""); }
+    } disarm;
+
+    SolveService svc(cfg);
+    Wire wire(svc);
+    const std::string first = wire.request("SUBMIT me anf 5 - 5", kPaperAnf);
+    ASSERT_EQ(first.rfind("OK JOB ", 0), 0u) << first;
+
+    const std::string over = wire.request("SUBMIT me anf 5 - 5", kPaperAnf);
+    EXPECT_EQ(over.rfind("ERR UNAVAILABLE", 0), 0u) << over;
+    EXPECT_NE(over.find("quota"), std::string::npos) << over;
+    EXPECT_NE(over.find("retry_after_ms="), std::string::npos) << over;
+
+    // The quota is per client: a different client is still admitted.
+    const std::string other = wire.request("SUBMIT you anf 5 - 5", kPaperAnf);
+    EXPECT_EQ(other.rfind("OK JOB ", 0), 0u) << other;
+
+    // Completion releases the quota slot for the original client.
+    wire.request("RESULT " + first.substr(7, first.size() - 8));
+    const std::string again = wire.request("SUBMIT me anf 5 - 5", kPaperAnf);
+    EXPECT_EQ(again.rfind("OK JOB ", 0), 0u) << again;
+}
+
+TEST(Protocol, MetricsExposeResilienceAndFaultState) {
+    SolveService svc(quick_service());
+    Wire wire(svc);
+    const std::string sub = wire.request("SUBMIT me anf 5 - 5", kPaperAnf);
+    ASSERT_EQ(sub.rfind("OK JOB ", 0), 0u);
+    wire.request("RESULT " + sub.substr(7, sub.size() - 8));
+
+    const std::string block = wire.request("METRICS");
+    for (const char* key :
+         {"\njobs_deadline_rejected ", "\nclient_disconnects ",
+          "\nrun_ewma_s ", "\nfault_plan ", "\nfaults_injected ",
+          "\nresilience.attempts ", "\nresilience.retries ",
+          "\nresilience.fallbacks ", "\nresilience.garbage_rejected ",
+          "\nresilience.exhausted ", "\ncircuit_opens "}) {
+        EXPECT_NE(block.find(key), std::string::npos) << key << "\n" << block;
+    }
+    // No plan armed here: the placeholder keeps the line two-token.
+    EXPECT_NE(block.find("\nfault_plan -\n"), std::string::npos) << block;
+}
+
+TEST(Protocol, ClientDisconnectMidResultIsSurvivedAndCounted) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    EXPECT_TRUE(service::write_all_nosignal(sv[0], "RESULT head\n"));
+    ::close(sv[1]);
+    // Writing the rest of the RESULT into the dead peer must fail with a
+    // plain error, not kill the process with SIGPIPE.
+    bool ok = true;
+    for (int i = 0; i < 64 && ok; ++i) {
+        ok = service::write_all_nosignal(sv[0], std::string(1 << 16, 'x'));
+    }
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(errno == EPIPE || errno == ECONNRESET) << errno;
+    ::close(sv[0]);
+
+    // The connection front end reports the drop; METRICS surfaces it.
+    SolveService svc(quick_service());
+    svc.note_client_disconnect();
+    Wire wire(svc);
+    const std::string block = wire.request("METRICS");
+    EXPECT_NE(block.find("\nclient_disconnects 1\n"), std::string::npos)
+        << block;
 }
 
 }  // namespace
