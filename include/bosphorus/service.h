@@ -254,6 +254,18 @@ struct ServiceStats {
     /// (see sat::HealthTracker).
     uint64_t circuit_opens = 0;
     std::vector<sat::HealthTracker::Snapshot> circuits;
+
+    /// Native-solver in-processing counters, process-global across every
+    /// live solver (see sat::inprocess::counters()). The tier_* entries
+    /// are live gauges; the rest are monotone totals.
+    uint64_t inprocess_vivified_literals = 0;
+    uint64_t inprocess_vivified_clauses = 0;
+    uint64_t inprocess_vivify_passes = 0;
+    uint64_t inprocess_reconf_decisions = 0;
+    uint64_t inprocess_db_reductions = 0;
+    int64_t inprocess_tier_core = 0;
+    int64_t inprocess_tier_mid = 0;
+    int64_t inprocess_tier_local = 0;
 };
 
 /// The multi-tenant solve service (see the file comment). Construct one

@@ -144,8 +144,35 @@ void decide_from_model(core::AnfSystem& sys, size_t num_vars,
 class SatTechnique final : public Technique {
 public:
     explicit SatTechnique(const SatTechniqueConfig& cfg)
-        : cfg_(cfg), conflict_budget_(cfg.conflicts_start) {}
+        : cfg_(cfg), conflict_budget_(cfg.conflicts_start) {
+        sat::inprocess::ProfileId id;
+        if (!sat::inprocess::profile_from_name(cfg_.sat_profile, id)) {
+            config_error_ = Status::invalid_argument(
+                "unknown sat profile '" + cfg_.sat_profile +
+                "' (expected auto, fixed, balanced, crypto-xor, "
+                "agile-restart or heavy-tail)");
+        }
+    }
     std::string name() const override { return "sat"; }
+
+    /// The native solver configuration every native path (persistent live
+    /// solver and per-step cold solver) is built from; one definition so
+    /// warm and cold cannot drift.
+    sat::Solver::Config solver_config() const {
+        sat::Solver::Config scfg;
+        scfg.enable_xor = cfg_.native_xor;
+        scfg.inprocess.enabled = cfg_.inprocess;
+        sat::inprocess::ProfileId id;
+        if (sat::inprocess::profile_from_name(cfg_.sat_profile, id))
+            scfg.inprocess.profile = id;
+        if (cfg_.restart_base > 0) scfg.restart_base = cfg_.restart_base;
+        if (cfg_.learnt_db_floor > 0)
+            scfg.inprocess.local_cap_min =
+                static_cast<size_t>(cfg_.learnt_db_floor);
+        if (cfg_.learnt_db_growth > 0)
+            scfg.inprocess.local_cap_growth = cfg_.learnt_db_growth;
+        return scfg;
+    }
 
     void begin_run() override { conflict_budget_ = cfg_.conflicts_start; }
 
@@ -189,9 +216,7 @@ public:
         conv_cfg.native_xor = cfg_.native_xor;
         const core::Anf2CnfResult conv =
             core::anf_to_cnf(base, num_vars, conv_cfg);
-        sat::Solver::Config scfg;
-        scfg.enable_xor = cfg_.native_xor;
-        live_ = std::make_unique<sat::Solver>(scfg);
+        live_ = std::make_unique<sat::Solver>(solver_config());
         live_num_anf_vars_ = conv.num_anf_vars;
         live_->load(conv.cnf);  // a false return leaves okay() false: UNSAT
     }
@@ -259,6 +284,11 @@ public:
     // decide_from_model) are factored; the per-path solver plumbing
     // stays separate on purpose.
     StepReport step(core::AnfSystem& sys, FactSink& sink) override {
+        if (!config_error_.ok()) {
+            StepReport report;
+            report.status = config_error_;
+            return report;
+        }
         if (!cfg_.backend.empty()) {
             if (!backend_error_.ok()) {
                 StepReport report;
@@ -324,9 +354,7 @@ private:
         const core::Anf2CnfResult conv =
             core::anf_to_cnf(sys.to_polynomials(), num_vars, conv_cfg);
 
-        sat::Solver::Config scfg;
-        scfg.enable_xor = cfg_.native_xor;
-        sat::Solver solver(scfg);
+        sat::Solver solver(solver_config());
         // Cancellation reaches a *running* solve through the terminate
         // hook (portfolio losers stop mid-budget, not at the step end).
         solver.set_terminate_callback(
@@ -605,6 +633,7 @@ private:
     std::unique_ptr<sat::Solver> live_;  ///< persistent Session solver
     std::unique_ptr<sat::SolverBackend> live_backend_;  ///< named-backend twin
     Status backend_error_;  ///< a failed bind_base, surfaced at step()
+    Status config_error_;   ///< a bad SatTechniqueConfig, surfaced at step()
     size_t live_num_anf_vars_ = 0;
     // Cooperative exchange state: the private import cursor, the cache of
     // foreign facts drained so far (cold paths re-inject all of it), and

@@ -1,0 +1,49 @@
+// Cheap instance features feeding the profile decision rule.
+//
+// Everything here is O(formula size) or cheaper and fully deterministic:
+// counts, the vars/clauses ratio, XOR density, a coarse clause-size
+// histogram, plus one *dynamic* feature -- the average LBD of the first
+// window of learnt clauses -- that the solver folds in after the opening
+// conflicts of a call, so warm re-solves adapt to how the search is
+// actually behaving, not just to how the formula looks.
+#pragma once
+
+#include <cstddef>
+
+#include "sat/types.h"
+
+namespace bosphorus::sat {
+class Solver;
+}  // namespace bosphorus::sat
+
+namespace bosphorus::sat::inprocess {
+
+struct InstanceFeatures {
+    size_t num_vars = 0;
+    size_t num_clauses = 0;  ///< irredundant clauses (XORs not included)
+    size_t num_xors = 0;     ///< native XOR rows
+
+    double clause_var_ratio = 0.0;  ///< (clauses + xors) / vars
+    double xor_density = 0.0;       ///< xors / (clauses + xors)
+    double mean_clause_size = 0.0;  ///< over irredundant clauses
+
+    // Clause-size histogram, as fractions of the irredundant clauses.
+    double frac_binary = 0.0;   ///< size == 2
+    double frac_ternary = 0.0;  ///< size == 3
+    double frac_long = 0.0;     ///< size >= 7
+
+    /// Mean LBD over the first window (inprocess window_lbd_conflicts) of
+    /// learnt clauses of the current solve call; 0 until observed. The
+    /// solver fills this in and re-runs the decision rule once per call.
+    double avg_first_window_lbd = 0.0;
+
+    /// Extract the static features from a loaded solver (its irredundant
+    /// clause list and XOR engine). `avg_first_window_lbd` is left 0.
+    static InstanceFeatures extract(const Solver& s);
+
+    /// Extract the static features from a CNF container (used by tests
+    /// and offline tools; mirrors extract() exactly).
+    static InstanceFeatures from_cnf(const Cnf& cnf);
+};
+
+}  // namespace bosphorus::sat::inprocess

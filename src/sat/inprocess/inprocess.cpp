@@ -1,0 +1,12 @@
+#include "sat/inprocess/inprocess.h"
+
+namespace bosphorus::sat::inprocess {
+
+InprocessCounters& counters() {
+    // Leaked singleton: bosphorusd worker threads may still read gauges
+    // while static destructors run, so never destroy it.
+    static InprocessCounters* g = new InprocessCounters();
+    return *g;
+}
+
+}  // namespace bosphorus::sat::inprocess

@@ -10,6 +10,17 @@
 namespace bosphorus::sat {
 
 Solver::Solver(Config cfg) : cfg_(cfg) {
+    // Effective knobs start at the Config values; a profile application
+    // (in-processing only) overrides them per solve call.
+    eff_var_decay_ = cfg_.var_decay;
+    eff_clause_decay_ = cfg_.clause_decay;
+    eff_restart_base_ = cfg_.restart_base;
+    eff_vivify_budget_ = cfg_.inprocess.vivify_propagation_budget;
+    eff_vivify_interval_ = cfg_.inprocess.vivify_restart_interval;
+    if (cfg_.inprocess.enabled) {
+        db_mgr_ = std::make_unique<inprocess::ClauseDbManager>(cfg_.inprocess);
+        vivifier_ = std::make_unique<inprocess::Vivifier>();
+    }
     if (cfg_.enable_xor) xor_engine_ = std::make_unique<XorEngine>(*this);
 }
 
@@ -245,7 +256,22 @@ void Solver::analyze(CRef confl, std::vector<Lit>& out_learnt,
     do {
         assert(confl != kNoReason);
         Clause& c = clauses_[confl];
-        if (c.learnt) cla_bump(c);
+        if (c.learnt) {
+            cla_bump(c);
+            // In-processing: refresh the LBD of clauses participating in
+            // conflicts (all their literals are assigned here, so the
+            // levels are valid) and remember they were useful. XOR
+            // conflict/reason clauses stay kUntracked and are skipped.
+            if (c.tier != inprocess::kUntracked) {
+                c.used = 1;
+                const uint32_t nl = clause_lbd(c);
+                if (nl < c.lbd) {
+                    c.lbd = nl;
+                    c.tier = static_cast<uint8_t>(db_mgr_->on_lbd_improved(
+                        static_cast<inprocess::Tier>(c.tier), nl));
+                }
+            }
+        }
 
         const size_t start = (p == lit_undef()) ? 0 : 1;
         for (size_t k = start; k < c.lits.size(); ++k) {
@@ -367,7 +393,7 @@ void Solver::var_bump(Var v) {
     if (heap_pos_[v] >= 0) heap_up(static_cast<size_t>(heap_pos_[v]));
 }
 
-void Solver::var_decay_all() { var_inc_ /= cfg_.var_decay; }
+void Solver::var_decay_all() { var_inc_ /= eff_var_decay_; }
 
 void Solver::cla_bump(Clause& c) {
     c.activity += static_cast<float>(cla_inc_);
@@ -464,6 +490,152 @@ void Solver::reduce_db() {
     learnts_ = std::move(kept);
 }
 
+// --------------------------------------------------------- in-processing
+
+void Solver::apply_profile(inprocess::ProfileId id) {
+    using inprocess::ProfileId;
+    inprocess::SolverProfile p;
+    if (id == ProfileId::kFixed) {
+        // Honour the explicit Config knobs verbatim.
+        p = {"fixed",
+             cfg_.var_decay,
+             cfg_.clause_decay,
+             cfg_.restart_base,
+             cfg_.inprocess.core_lbd_cut,
+             cfg_.inprocess.mid_lbd_cut,
+             cfg_.inprocess.vivify_restart_interval,
+             cfg_.inprocess.vivify_propagation_budget,
+             cfg_.inprocess.local_cap_growth};
+    } else {
+        p = inprocess::profile(id);
+    }
+    eff_var_decay_ = p.var_decay;
+    eff_clause_decay_ = p.clause_decay;
+    eff_restart_base_ = p.restart_base;
+    eff_vivify_budget_ = p.vivify_propagation_budget;
+    eff_vivify_interval_ = p.vivify_restart_interval;
+    db_mgr_->apply_profile(p);
+    if (profile_applied_ && id != active_profile_) {
+        ++stats_.reconf_decisions;
+        inprocess::counters().reconf_decisions.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    profile_applied_ = true;
+    active_profile_ = id;
+}
+
+void Solver::run_vivify_pass() {
+    const auto ps = vivifier_->run(*this, eff_vivify_budget_,
+                                   cfg_.inprocess.vivify_max_clause_size,
+                                   cfg_.inprocess.vivify_irredundant);
+    stats_.vivified_literals += ps.literals_removed;
+    stats_.vivified_clauses += ps.clauses_shrunk;
+    ++stats_.vivify_passes;
+    last_vivify_conflicts_ = stats_.conflicts;
+}
+
+bool Solver::vivify_due() const {
+    return stats_.conflicts - last_vivify_conflicts_ >=
+           cfg_.inprocess.vivify_min_conflicts;
+}
+
+uint32_t Solver::clause_lbd(const Clause& c) {
+    // Only valid for fully assigned clauses (conflict/reason clauses in
+    // analyze): unassigned variables carry stale levels.
+    ++lbd_stamp_;
+    uint32_t lbd = 0;
+    for (const Lit l : c.lits) {
+        const int lv = level(l.var());
+        if (lv == 0) continue;  // level-0 literals are effectively gone
+        if (static_cast<size_t>(lv) >= level_stamp_.size())
+            level_stamp_.resize(static_cast<size_t>(lv) + 1, 0);
+        if (level_stamp_[lv] != lbd_stamp_) {
+            level_stamp_[lv] = lbd_stamp_;
+            ++lbd;
+        }
+    }
+    return lbd;
+}
+
+bool Solver::check_db_invariants() const {
+    // 1. Clause lists hold only live clauses with consistent flags; the
+    //    tier counts match a full recount.
+    for (const CRef cr : problem_clauses_) {
+        const Clause& c = clauses_[cr];
+        if (c.deleted || c.learnt) return false;
+    }
+    inprocess::ClauseDbManager::TierCounts recount;
+    for (const CRef cr : learnts_) {
+        const Clause& c = clauses_[cr];
+        if (c.deleted || !c.learnt) return false;
+        if (db_mgr_) {
+            switch (c.tier) {
+                case inprocess::kCore: ++recount.core; break;
+                case inprocess::kMid: ++recount.mid; break;
+                case inprocess::kLocal: ++recount.local; break;
+                default: return false;  // kUntracked must not be listed
+            }
+        }
+    }
+    if (db_mgr_) {
+        const auto& tc = db_mgr_->tier_counts();
+        if (recount.core != tc.core || recount.mid != tc.mid ||
+            recount.local != tc.local)
+            return false;
+    }
+    // 2. Every watcher points at a live clause and watches one of its
+    //    first two literals; every listed clause is watched exactly twice.
+    std::vector<uint8_t> watch_count(clauses_.size(), 0);
+    for (size_t raw = 0; raw < watches_.size(); ++raw) {
+        const Lit watched = ~Lit::from_raw(static_cast<uint32_t>(raw));
+        for (const Watcher& w : watches_[raw]) {
+            const Clause& c = clauses_[w.cref];
+            if (c.deleted || c.lits.size() < 2) return false;
+            if (c.lits[0] != watched && c.lits[1] != watched) return false;
+            if (watch_count[w.cref] >= 2) return false;
+            ++watch_count[w.cref];
+        }
+    }
+    for (const CRef cr : problem_clauses_) {
+        if (clauses_[cr].lits.size() >= 2 && watch_count[cr] != 2)
+            return false;
+    }
+    for (const CRef cr : learnts_) {
+        if (watch_count[cr] != 2) return false;
+    }
+    // 3. Reasons of variables assigned above level 0 are live clauses
+    //    whose first literal is the implied one.
+    for (const Lit l : trail_) {
+        if (var_level_[l.var()] == 0) continue;
+        const CRef r = var_reason_[l.var()];
+        if (r == kNoReason) continue;
+        const Clause& c = clauses_[r];
+        if (c.deleted || c.lits.empty() || c.lits[0] != l) return false;
+    }
+    return true;
+}
+
+void Solver::debug_force_reduce() {
+    if (inprocessing_on()) {
+        db_mgr_->reduce(*this);
+    } else {
+        reduce_db();
+    }
+}
+
+inprocess::Vivifier::PassStats Solver::debug_force_vivify(
+    uint64_t propagation_budget) {
+    if (!vivifier_ || !ok_) return {};
+    cancel_until(0);
+    const auto ps = vivifier_->run(*this, propagation_budget,
+                                   cfg_.inprocess.vivify_max_clause_size,
+                                   cfg_.inprocess.vivify_irredundant);
+    stats_.vivified_literals += ps.literals_removed;
+    stats_.vivified_clauses += ps.clauses_shrunk;
+    ++stats_.vivify_passes;
+    return ps;
+}
+
 double Solver::luby(double y, int i) const {
     // Finite subsequence length and position within it.
     int size = 1, seq = 0;
@@ -522,13 +694,40 @@ Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
         return Result::kUnsat;
     }
 
-    max_learnts_ = std::max<double>(
-        static_cast<double>(problem_clauses_.size()) / 3.0, 1000.0);
+    if (inprocessing_on()) {
+        ++solve_calls_;
+        // Per-call profile (re-)selection: static features plus the LBD
+        // window observed in the previous call.
+        feat_ = inprocess::InstanceFeatures::extract(*this);
+        feat_.avg_first_window_lbd = prev_window_lbd_;
+        inprocess::ProfileId want = cfg_.inprocess.profile;
+        if (want == inprocess::ProfileId::kAuto)
+            want = inprocess::select_profile(feat_);
+        apply_profile(want);
+        window_lbd_sum_ = 0;
+        window_lbd_count_ = 0;
+        window_reconf_done_ = false;
+        // Entry vivification on warm re-solves only: a cold one-shot call
+        // pays nothing up front, and short warm solves that learned
+        // little since the last pass skip it too (vivify_due).
+        if (cfg_.inprocess.vivify && solve_calls_ > 1 && vivify_due()) {
+            run_vivify_pass();
+            if (!ok_) {
+                while (units_reported_ < trail_.size())
+                    learnt_units_.push_back(trail_[units_reported_++]);
+                return Result::kUnsat;
+            }
+        }
+    } else {
+        // Legacy learnt-DB cap, reset on every call.
+        max_learnts_ = std::max<double>(
+            static_cast<double>(problem_clauses_.size()) / 3.0, 1000.0);
+    }
 
     int64_t conflicts_this_call = 0;
     int curr_restarts = 0;
     int64_t restart_limit = static_cast<int64_t>(
-        luby(2.0, curr_restarts) * cfg_.restart_base);
+        luby(2.0, curr_restarts) * eff_restart_base_);
     int64_t conflicts_since_restart = 0;
 
     std::vector<Lit> learnt_clause;
@@ -566,14 +765,39 @@ Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
             } else {
                 const CRef cr = alloc_clause(learnt_clause, /*learnt=*/true);
                 clauses_[cr].lbd = lbd;
+                if (inprocessing_on()) {
+                    clauses_[cr].tier =
+                        static_cast<uint8_t>(db_mgr_->classify(lbd));
+                    clauses_[cr].used = 1;
+                    db_mgr_->on_learnt(lbd);
+                }
                 learnts_.push_back(cr);
                 attach_clause(cr);
                 cla_bump(clauses_[cr]);
                 enqueue(learnt_clause[0], cr);
             }
             ++stats_.learnt_clauses;
+            if (inprocessing_on() && !window_reconf_done_) {
+                // Opening-window LBD observation; once full, give the
+                // kAuto rule one mid-call chance to switch profiles.
+                window_lbd_sum_ += lbd;
+                if (++window_lbd_count_ >=
+                    cfg_.inprocess.window_lbd_conflicts) {
+                    window_reconf_done_ = true;
+                    prev_window_lbd_ =
+                        static_cast<double>(window_lbd_sum_) /
+                        static_cast<double>(window_lbd_count_);
+                    if (cfg_.inprocess.profile ==
+                        inprocess::ProfileId::kAuto) {
+                        feat_.avg_first_window_lbd = prev_window_lbd_;
+                        const inprocess::ProfileId want =
+                            inprocess::select_profile(feat_);
+                        if (want != active_profile_) apply_profile(want);
+                    }
+                }
+            }
             var_decay_all();
-            cla_inc_ /= cfg_.clause_decay;
+            cla_inc_ /= eff_clause_decay_;
 
             if (conflict_budget >= 0 && conflicts_this_call >= conflict_budget) {
                 result = Result::kUnknown;
@@ -594,11 +818,25 @@ Result Solver::solve_assuming(const std::vector<Lit>& assumptions,
                 ++curr_restarts;
                 conflicts_since_restart = 0;
                 restart_limit = static_cast<int64_t>(
-                    luby(2.0, curr_restarts) * cfg_.restart_base);
+                    luby(2.0, curr_restarts) * eff_restart_base_);
                 cancel_until(0);
+                if (inprocessing_on() && cfg_.inprocess.vivify &&
+                    eff_vivify_interval_ > 0 &&
+                    curr_restarts % static_cast<int>(eff_vivify_interval_) ==
+                        0 &&
+                    vivify_due()) {
+                    run_vivify_pass();
+                    if (!ok_) {
+                        result = Result::kUnsat;
+                        break;
+                    }
+                }
                 continue;
             }
-            if (static_cast<double>(learnts_.size()) >= max_learnts_) {
+            if (inprocessing_on()) {
+                if (db_mgr_->should_reduce(problem_clauses_.size()))
+                    db_mgr_->reduce(*this);
+            } else if (static_cast<double>(learnts_.size()) >= max_learnts_) {
                 reduce_db();
                 max_learnts_ *= cfg_.learnt_growth;
             }

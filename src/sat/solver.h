@@ -23,9 +23,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "sat/inprocess/clause_db.h"
+#include "sat/inprocess/features.h"
+#include "sat/inprocess/inprocess.h"
+#include "sat/inprocess/vivifier.h"
 #include "sat/types.h"
 #include "util/timer.h"
 
@@ -40,8 +45,12 @@ public:
         double var_decay = 0.95;      ///< EVSIDS decay factor
         double clause_decay = 0.999;  ///< learnt clause activity decay
         int restart_base = 100;       ///< Luby restart unit (conflicts)
-        double learnt_growth = 1.1;   ///< learnt DB cap growth per reduction
+        double learnt_growth = 1.1;   ///< legacy learnt DB cap growth
         int verbosity = 0;
+        /// In-processing engine (vivification, tiered learnt DB, profile
+        /// auto-reconfiguration). inprocess.enabled = false reproduces the
+        /// legacy solver numerically.
+        inprocess::InprocessConfig inprocess;
     };
 
     struct Stats {
@@ -52,6 +61,11 @@ public:
         uint64_t learnt_clauses = 0;
         uint64_t deleted_clauses = 0;
         uint64_t xor_propagations = 0;
+        uint64_t vivified_literals = 0;  ///< literals removed by vivification
+        uint64_t vivified_clauses = 0;   ///< clauses shrunk by vivification
+        uint64_t vivify_passes = 0;      ///< vivification sweeps run
+        uint64_t reconf_decisions = 0;   ///< auto profile switches applied
+        uint64_t db_reductions = 0;      ///< tiered reduce sweeps
     };
 
     Solver() : Solver(Config{}) {}
@@ -145,8 +159,50 @@ public:
     LBool value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
     LBool value(Var v) const { return assigns_[v]; }
 
+    // ---- in-processing observability / test hooks ----------------------
+
+    /// Live per-tier learnt clause counts (all zero when in-processing is
+    /// disabled: the legacy DB is untiered).
+    inprocess::ClauseDbManager::TierCounts db_tier_counts() const {
+        return db_mgr_ ? db_mgr_->tier_counts()
+                       : inprocess::ClauseDbManager::TierCounts{};
+    }
+
+    /// The profile in effect after the last solve call resolved kAuto
+    /// (kFixed before any solve, or when in-processing is disabled).
+    inprocess::ProfileId active_profile() const { return active_profile_; }
+
+    /// Tier-policy diagnostics; both must stay 0 (the deletion policy
+    /// never even *attempts* to delete glue or reason-locked clauses).
+    uint64_t db_glue_delete_vetoes() const {
+        return db_mgr_ ? db_mgr_->glue_delete_vetoes() : 0;
+    }
+    uint64_t db_locked_delete_vetoes() const {
+        return db_mgr_ ? db_mgr_->locked_delete_vetoes() : 0;
+    }
+
+    /// Structural clause-database invariants, checkable at any consistent
+    /// point (conflict/decision boundaries; this is what the terminate
+    /// callback sees): clause lists hold no deleted clauses, every listed
+    /// clause is watched on exactly its first two literals, reasons of
+    /// assigned variables above level 0 are live with the implied literal
+    /// first, and the tier counts match a full recount.
+    bool check_db_invariants() const;
+
+    /// Force one reduction sweep now (tiered when in-processing is on,
+    /// legacy reduce_db otherwise). Test hook.
+    void debug_force_reduce();
+
+    /// Force one vivification pass with the given budget (no-op returning
+    /// empty stats when in-processing is disabled). Test hook.
+    inprocess::Vivifier::PassStats debug_force_vivify(
+        uint64_t propagation_budget);
+
 private:
     friend class XorEngine;
+    friend class inprocess::Vivifier;
+    friend class inprocess::ClauseDbManager;
+    friend struct inprocess::InstanceFeatures;
 
     // ---- clause storage ----------------------------------------------
     struct Clause {
@@ -155,6 +211,12 @@ private:
         uint32_t lbd = 0;
         bool learnt = false;
         bool deleted = false;
+        // In-processing bookkeeping. tier is kUntracked for clauses the
+        // ClauseDbManager does not manage (problem clauses, XOR
+        // conflict/reason clauses, everything when in-processing is off).
+        uint8_t tier = inprocess::kUntracked;
+        uint8_t used = 0;  ///< participated in a conflict since last reduce
+        uint8_t idle = 0;  ///< reductions spent unused in the mid tier
     };
     using CRef = int32_t;
     static constexpr CRef kNoReason = -1;
@@ -163,6 +225,19 @@ private:
         CRef cref;
         Lit blocker;
     };
+
+    // ---- in-processing --------------------------------------------------
+    /// True when the in-processing engine owns the learnt DB.
+    bool inprocessing_on() const { return db_mgr_ != nullptr; }
+    /// Install a named profile's (or kFixed: the Config's) knobs as the
+    /// effective search parameters and tier cuts.
+    void apply_profile(inprocess::ProfileId id);
+    /// One budgeted vivification sweep, folding pass stats into stats_.
+    void run_vivify_pass();
+    /// Enough conflicts since the last pass to be worth another one?
+    bool vivify_due() const;
+    /// Recompute the LBD of a fully assigned clause (analyze-time hook).
+    uint32_t clause_lbd(const Clause& c);
 
     // ---- search -------------------------------------------------------
     CRef propagate();
@@ -237,7 +312,32 @@ private:
     // Dedup for learnt_binaries_ (normalised lit pair -> already recorded).
     std::unordered_set<uint64_t> binaries_seen_;
 
-    double max_learnts_ = 0;
+    double max_learnts_ = 0;  // legacy (in-processing off) learnt DB cap
+
+    // ---- in-processing state --------------------------------------------
+    std::unique_ptr<inprocess::ClauseDbManager> db_mgr_;  // null = disabled
+    std::unique_ptr<inprocess::Vivifier> vivifier_;
+    inprocess::ProfileId active_profile_ = inprocess::ProfileId::kFixed;
+    bool profile_applied_ = false;  // first application is not a "reconf"
+    // Effective search knobs: the active profile's values, or the Config
+    // values verbatim under kFixed / disabled in-processing.
+    double eff_var_decay_;
+    double eff_clause_decay_;
+    int eff_restart_base_;
+    uint64_t eff_vivify_budget_;
+    uint32_t eff_vivify_interval_;
+    // Opening-window LBD observation of the current call, and the carry
+    // from the previous call (feeds the next static profile selection).
+    uint64_t window_lbd_sum_ = 0;
+    uint32_t window_lbd_count_ = 0;
+    bool window_reconf_done_ = false;
+    double prev_window_lbd_ = 0.0;
+    inprocess::InstanceFeatures feat_;  // cached per call for the mid-solve rule
+    uint64_t solve_calls_ = 0;
+    uint64_t last_vivify_conflicts_ = 0;  // conflict count at the last pass
+    // clause_lbd() scratch: per-decision-level stamps.
+    std::vector<uint64_t> level_stamp_;
+    uint64_t lbd_stamp_ = 0;
 
     std::unique_ptr<XorEngine> xor_engine_;
 };

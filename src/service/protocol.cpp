@@ -163,6 +163,14 @@ std::string metrics_block(const ServiceStats& s) {
     put("resilience.fallbacks", s.resilience_fallbacks);
     put("resilience.garbage_rejected", s.resilience_garbage);
     put("resilience.exhausted", s.resilience_exhausted);
+    put("inprocess.vivified_literals", s.inprocess_vivified_literals);
+    put("inprocess.vivified_clauses", s.inprocess_vivified_clauses);
+    put("inprocess.vivify_passes", s.inprocess_vivify_passes);
+    put("inprocess.reconf_decisions", s.inprocess_reconf_decisions);
+    put("inprocess.db_reductions", s.inprocess_db_reductions);
+    put("inprocess.tier_core", s.inprocess_tier_core);
+    put("inprocess.tier_mid", s.inprocess_tier_mid);
+    put("inprocess.tier_local", s.inprocess_tier_local);
     put("circuit_opens", s.circuit_opens);
     for (const auto& c : s.circuits) {
         const std::string prefix = "circuit." + c.backend + ".";

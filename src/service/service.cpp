@@ -37,6 +37,7 @@
 #include "bosphorus/session.h"
 #include "runtime/cancellation.h"
 #include "runtime/thread_pool.h"
+#include "sat/inprocess/inprocess.h"
 #include "util/fault.h"
 #include "util/timer.h"
 
@@ -701,6 +702,21 @@ ServiceStats SolveService::stats() const {
     const auto& health = sat::BackendRegistry::global().health();
     s.circuit_opens = health.total_opens();
     s.circuits = health.snapshot();
+    const auto& inproc = sat::inprocess::counters();
+    s.inprocess_vivified_literals =
+        inproc.vivified_literals.load(std::memory_order_relaxed);
+    s.inprocess_vivified_clauses =
+        inproc.vivified_clauses.load(std::memory_order_relaxed);
+    s.inprocess_vivify_passes =
+        inproc.vivify_passes.load(std::memory_order_relaxed);
+    s.inprocess_reconf_decisions =
+        inproc.reconf_decisions.load(std::memory_order_relaxed);
+    s.inprocess_db_reductions =
+        inproc.db_reductions.load(std::memory_order_relaxed);
+    s.inprocess_tier_core = inproc.tier_core.load(std::memory_order_relaxed);
+    s.inprocess_tier_mid = inproc.tier_mid.load(std::memory_order_relaxed);
+    s.inprocess_tier_local =
+        inproc.tier_local.load(std::memory_order_relaxed);
     return s;
 }
 
